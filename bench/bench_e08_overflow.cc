@@ -1,0 +1,107 @@
+/**
+ * @file
+ * E8 — Overflow handling: correctness and cost of each policy.
+ *
+ * Narrow counters compress time so wraps happen at bench scale (a
+ * 48-bit cycle counter takes ~26 hours to wrap at 3 GHz; a 16-bit one
+ * wraps every 22 us — same protocol, observable now). A thread reads
+ * a cycle counter repeatedly; any read that returns less than its
+ * predecessor lost a wrap. Expected shape (paper): the naive
+ * userspace sum exhibits rare huge undercounts (2^width), the
+ * kernel fix-up and double-check reads never err, and the fix-up
+ * adds no cost to reads that see no overflow.
+ */
+
+#include <cstdio>
+
+#include "analysis/bundle.hh"
+#include "pec/pec.hh"
+#include "stats/table.hh"
+
+namespace {
+
+using namespace limit;
+
+struct Outcome
+{
+    std::uint64_t reads = 0;
+    std::uint64_t erroneous = 0; // value regressed vs predecessor
+    std::uint64_t wraps = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t retries = 0;
+    double cyclesPerRead = 0;
+};
+
+Outcome
+run(pec::OverflowPolicy policy, unsigned width)
+{
+    analysis::BundleOptions o;
+    o.cores = 1;
+    o.pmuFeatures.counterWidth = width;
+    analysis::SimBundle b(o);
+    pec::PecConfig pc;
+    pc.policy = policy;
+    pec::PecSession session(b.kernel(), pc);
+    session.addEvent(0, sim::EventType::Cycles); // user cycles
+
+    Outcome out;
+    constexpr unsigned reps = 20'000;
+    b.kernel().spawn("t", [&](sim::Guest &g) -> sim::Task<void> {
+        std::uint64_t prev = 0;
+        const sim::Tick t0 = g.now();
+        for (unsigned i = 0; i < reps; ++i) {
+            co_await g.compute(40); // workload between reads
+            const std::uint64_t v = co_await session.read(g, 0);
+            if (v < prev)
+                ++out.erroneous;
+            prev = v;
+        }
+        out.cyclesPerRead =
+            static_cast<double>(g.now() - t0) / reps;
+        co_return;
+    });
+    b.machine().run();
+    out.reads = reps;
+    out.wraps = session.overflowFixups();
+    out.restarts = session.readRestarts();
+    out.retries = session.doubleCheckRetries();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using limit::stats::Table;
+    using pec::OverflowPolicy;
+
+    Table t("E8: read correctness and cost under counter overflow "
+            "(20k reads of a user-cycle counter)");
+    t.header({"width", "policy", "wraps", "bad reads", "restarts",
+              "dbl-chk retries", "cyc/read (incl 40-instr gap)"});
+
+    for (unsigned width : {12u, 16u, 20u}) {
+        for (auto policy :
+             {OverflowPolicy::None, OverflowPolicy::NaiveSum,
+              OverflowPolicy::KernelFixup, OverflowPolicy::DoubleCheck}) {
+            const Outcome r = run(policy, width);
+            t.beginRow()
+                .cell(width)
+                .cell(pec::policyName(policy))
+                .cell(r.wraps)
+                .cell(r.erroneous)
+                .cell(r.restarts)
+                .cell(r.retries)
+                .cell(r.cyclesPerRead, 1);
+        }
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nShape check: 'none' regresses constantly (raw wrapping "
+              "value), 'naive-sum' loses full 2^width wraps when the "
+              "overflow lands mid-read, while 'kernel-fixup' and\n"
+              "'double-check' never produce a bad read; the fix-up's "
+              "per-read cost matches naive-sum when no overflow hits "
+              "the read window.");
+    return 0;
+}

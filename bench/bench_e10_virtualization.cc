@@ -1,0 +1,162 @@
+/**
+ * @file
+ * E10 — What virtualization and multiplexing cost.
+ *
+ * (a) Context-switch overhead as a function of how many counters the
+ *     kernel must save/restore — the price of per-thread precision.
+ * (b) Multiplexing error: four events rotated through one hardware
+ *     counter over a phased (non-steady) workload, estimates compared
+ *     with the exact ledger. Expected shape: switch cost grows
+ *     linearly with saved counters; multiplexed estimates err by
+ *     several percent and the error is workload-dependent — scaled
+ *     extrapolations are not counts.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/bundle.hh"
+#include "os/sysno.hh"
+#include "pec/pec.hh"
+#include "stats/table.hh"
+
+namespace {
+
+using namespace limit;
+
+double
+switchCostWithCounters(unsigned counters)
+{
+    analysis::BundleOptions o;
+    o.cores = 1;
+    o.quantum = 10'000'000;
+    o.pmuCounters = 8;
+    analysis::SimBundle b(o);
+    pec::PecSession session(b.kernel());
+    const sim::EventType evs[8] = {
+        sim::EventType::Cycles,      sim::EventType::Instructions,
+        sim::EventType::Loads,       sim::EventType::Stores,
+        sim::EventType::Branches,    sim::EventType::BranchMisses,
+        sim::EventType::L1DMiss,     sim::EventType::LLCMiss,
+    };
+    for (unsigned i = 0; i < counters; ++i)
+        session.addEvent(i, evs[i]);
+
+    for (int i = 0; i < 2; ++i) {
+        b.kernel().spawn("t" + std::to_string(i),
+                         [&](sim::Guest &g) -> sim::Task<void> {
+                             for (int j = 0; j < 400; ++j) {
+                                 co_await g.compute(100);
+                                 co_await g.syscall(os::sysYield);
+                             }
+                             co_return;
+                         });
+    }
+    b.machine().run();
+    return static_cast<double>(analysis::totalEvent(
+               b.kernel(), sim::EventType::Cycles,
+               sim::PrivMode::Kernel)) /
+           static_cast<double>(b.kernel().totalContextSwitches());
+}
+
+struct MuxResult
+{
+    double errInstr;
+    double errLoads;
+    double errBranches;
+    double errStores;
+    std::uint64_t rotations;
+};
+
+MuxResult
+runMux(sim::Tick rotation_interval)
+{
+    analysis::BundleOptions o;
+    o.cores = 2;
+    analysis::SimBundle b(o);
+    pec::MuxSession mux(b.kernel(), 0,
+                        {{sim::EventType::Instructions, true, false},
+                         {sim::EventType::Loads, true, false},
+                         {sim::EventType::Branches, true, false},
+                         {sim::EventType::Stores, true, false}});
+
+    // Phased workload: alternating compute-heavy and memory-heavy
+    // phases make per-event rates time-varying, which is where
+    // duty-cycle scaling goes wrong.
+    b.kernel().spawn("worker", [&](sim::Guest &g) -> sim::Task<void> {
+        bool compute_phase = true;
+        while (!g.shouldStop()) {
+            if (compute_phase) {
+                for (int i = 0; i < 400; ++i)
+                    co_await g.compute(250);
+            } else {
+                for (int i = 0; i < 2000; ++i) {
+                    co_await g.load(0x100000 + (i % 512) * 64);
+                    co_await g.store(0x200000 + (i % 512) * 64);
+                    co_await g.compute(4);
+                }
+            }
+            compute_phase = !compute_phase;
+        }
+        co_return;
+    });
+    b.kernel().spawn("rotator", [&](sim::Guest &g) -> sim::Task<void> {
+        while (!g.shouldStop()) {
+            co_await g.syscall(os::sysSleep,
+                               {rotation_interval, 0, 0, 0});
+            co_await mux.rotate(g);
+        }
+        co_return;
+    });
+    const sim::Tick end = b.run(20'000'000);
+    mux.finish(end);
+
+    const auto &ledger = b.kernel().thread(0).ctx.ledger();
+    auto err = [&](unsigned idx, sim::EventType e) {
+        const double truth = static_cast<double>(
+            ledger.count(e, sim::PrivMode::User));
+        return 100.0 * std::fabs(mux.estimate(0, idx) - truth) / truth;
+    };
+    return {err(0, sim::EventType::Instructions),
+            err(1, sim::EventType::Loads),
+            err(2, sim::EventType::Branches),
+            err(3, sim::EventType::Stores), mux.rotations()};
+}
+
+} // namespace
+
+int
+main()
+{
+    using limit::stats::Table;
+
+    Table t1("E10a: context-switch cost vs counters saved/restored");
+    t1.header({"active counters", "kernel cycles per switch"});
+    for (unsigned n : {0u, 2u, 4u, 8u})
+        t1.beginRow().cell(n).cell(switchCostWithCounters(n), 0);
+    std::fputs(t1.render().c_str(), stdout);
+
+    Table t2("E10b: multiplexing estimate error (4 events on 1 "
+             "counter, phased workload, 20M-cycle run)");
+    t2.header({"rotation interval", "rotations", "instr err%",
+               "loads err%", "branches err%", "stores err%"});
+    for (sim::Tick interval : {500'000u, 150'000u, 50'000u}) {
+        const MuxResult r = runMux(interval);
+        t2.beginRow()
+            .cell(static_cast<std::uint64_t>(interval))
+            .cell(r.rotations)
+            .cell(r.errInstr, 1)
+            .cell(r.errLoads, 1)
+            .cell(r.errBranches, 1)
+            .cell(r.errStores, 1);
+    }
+    std::puts("");
+    std::fputs(t2.render().c_str(), stdout);
+    std::puts("\nShape check: switch cost rises linearly with the "
+              "counter set (the virtualization tax), and multiplexed "
+              "estimates carry percent-level, workload-dependent\n"
+              "error that faster rotation only partly repairs — "
+              "precise counting avoids both by reading real counts "
+              "from userspace.");
+    return 0;
+}

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * E12 — Design-choice ablations beyond the paper's headline results.
+ *
+ * (a) Scheduler quantum: how preemption frequency scales the counter
+ *     virtualization tax (and confirms PEC reads stay exact at any
+ *     quantum — asserted in the property tests).
+ * (b) PMI skid: how realistic interrupt skid corrupts sampling's
+ *     attribution of short regions while leaving precise counting
+ *     untouched.
+ * (c) Next-line prefetching: the memory-substrate knob, shifting
+ *     cache-event profiles without touching the counting machinery.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/bundle.hh"
+#include "baseline/sampler.hh"
+#include "pec/pec.hh"
+#include "stats/table.hh"
+#include "workloads/oltp.hh"
+
+namespace {
+
+using namespace limit;
+
+// --- (a) quantum sweep ------------------------------------------------
+
+struct QuantumResult
+{
+    std::uint64_t switches;
+    double switchKernelPct; // % of all cycles spent context switching
+};
+
+QuantumResult
+runQuantum(sim::Tick quantum)
+{
+    analysis::BundleOptions o;
+    o.cores = 2;
+    o.quantum = quantum;
+    analysis::SimBundle b(o);
+    pec::PecSession s(b.kernel());
+    s.addEvent(0, sim::EventType::Cycles);
+    s.addEvent(1, sim::EventType::Instructions);
+    s.addEvent(2, sim::EventType::L1DMiss);
+    s.addEvent(3, sim::EventType::Branches);
+
+    // Over-subscribe the cores so quanta actually expire.
+    for (int i = 0; i < 6; ++i) {
+        b.kernel().spawn("t" + std::to_string(i),
+                         [&](sim::Guest &g) -> sim::Task<void> {
+                             while (!g.shouldStop())
+                                 co_await g.compute(2'000);
+                             co_return;
+                         });
+    }
+    b.run(20'000'000);
+
+    const auto &costs = b.machine().cpu(0).costs();
+    const std::uint64_t switches = b.kernel().totalContextSwitches();
+    // Per switch: base cost + 4 counters saved+restored.
+    const double switch_cycles = static_cast<double>(switches) *
+        static_cast<double>(costs.contextSwitchCost +
+                            4 * costs.counterSwitchCost);
+    const double total = static_cast<double>(
+        analysis::totalEvent(b.kernel(), sim::EventType::Cycles));
+    return {switches, 100.0 * switch_cycles / total};
+}
+
+// --- (b) skid sweep ----------------------------------------------------
+
+double
+shortRegionErrorWithSkid(sim::Tick skid)
+{
+    analysis::BundleOptions o;
+    o.cores = 1;
+    o.pmuFeatures.counterWidth = 30;
+    analysis::SimBundle b(o);
+    b.kernel().perf().setSkid(skid);
+    baseline::SamplingProfiler prof(b.kernel(), 0,
+                                    sim::EventType::Instructions,
+                                    3'000);
+    const auto region = b.machine().regions().intern("target");
+    constexpr unsigned iters = 3000;
+    constexpr std::uint64_t seg = 400;
+    b.kernel().spawn("t", [&](sim::Guest &g) -> sim::Task<void> {
+        sim::ComputeProfile p;
+        p.branchFrac = 0;
+        p.mispredictRate = 0;
+        for (unsigned i = 0; i < iters; ++i) {
+            co_await g.regionEnter(region);
+            // Fine-grained ops so PMIs land throughout the region
+            // (single-op regions make skid all-or-nothing).
+            for (int c = 0; c < 8; ++c)
+                co_await g.compute(seg / 8, p);
+            co_await g.regionExit();
+            co_await g.compute(2'200 + g.rng().below(1'400), p);
+        }
+        co_return;
+    });
+    b.machine().run();
+    prof.aggregate();
+    const double truth = static_cast<double>(seg) * iters;
+    return 100.0 * (prof.estimate(region) - truth) / truth;
+}
+
+// --- (c) prefetcher ablation -------------------------------------------
+
+struct PrefetchResult
+{
+    std::uint64_t committed;
+    double llcMpki;
+};
+
+PrefetchResult
+runPrefetch(bool enabled)
+{
+    analysis::BundleOptions o;
+    o.cores = 4;
+    o.hierarchy.nextLinePrefetch = enabled;
+    analysis::SimBundle b(o);
+    workloads::OltpConfig cfg;
+    cfg.clients = 6;
+    cfg.rowsPerTable = 1 << 18;
+    workloads::OltpServer oltp(b.machine(), b.kernel(), cfg, 55);
+    oltp.spawn();
+    b.run(20'000'000);
+    const double instr = static_cast<double>(
+        analysis::totalEvent(b.kernel(), sim::EventType::Instructions));
+    const double llc = static_cast<double>(
+        analysis::totalEvent(b.kernel(), sim::EventType::LLCMiss));
+    return {oltp.committed(), 1000.0 * llc / instr};
+}
+
+} // namespace
+
+int
+main()
+{
+    using limit::stats::Table;
+
+    Table t1("E12a: context-switch tax vs scheduler quantum "
+             "(4 virtualized counters, 6 threads on 2 cores)");
+    t1.header({"quantum (cycles)", "switches", "% cycles switching"});
+    for (sim::Tick q : {25'000u, 100'000u, 1'000'000u, 12'000'000u}) {
+        const auto r = runQuantum(q);
+        t1.beginRow()
+            .cell(static_cast<std::uint64_t>(q))
+            .cell(r.switches)
+            .cell(r.switchKernelPct, 2);
+    }
+    std::fputs(t1.render().c_str(), stdout);
+
+    Table t2("E12b: sampling attribution of a 400-instr region vs PMI "
+             "skid (period 3k, 3000 visits; precise counting is exact "
+             "regardless)");
+    t2.header({"skid (cycles)", "estimate error %"});
+    for (sim::Tick skid : {0u, 150u, 400u, 1'000u}) {
+        t2.beginRow()
+            .cell(static_cast<std::uint64_t>(skid))
+            .cell(shortRegionErrorWithSkid(skid), 1);
+    }
+    std::puts("");
+    std::fputs(t2.render().c_str(), stdout);
+
+    Table t3("E12c: next-line prefetcher ablation (OLTP, 20M cycles)");
+    t3.header({"prefetcher", "txns committed", "LLC MPKI"});
+    const auto off = runPrefetch(false);
+    const auto on = runPrefetch(true);
+    t3.beginRow().cell("off").cell(off.committed).cell(off.llcMpki, 3);
+    t3.beginRow().cell("on").cell(on.committed).cell(on.llcMpki, 3);
+    std::puts("");
+    std::fputs(t3.render().c_str(), stdout);
+
+    std::puts("\nShape check: the virtualization tax is negligible at "
+              "realistic quanta and only bites under pathological "
+              "preemption; skid silently drains samples out of short\n"
+              "regions (a bias no amount of extra samples repairs); "
+              "the prefetcher shifts the measured cache profile — "
+              "counters report it, counting machinery unaffected.");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared plumbing for the synchronization case-study benches (E5/E6):
+ * run each application analogue with cycle-precise lock
+ * instrumentation and collect per-lock-class aggregates.
+ */
+
+#ifndef LIMIT_BENCH_SYNC_COMMON_HH
+#define LIMIT_BENCH_SYNC_COMMON_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/bundle.hh"
+#include "pec/pec.hh"
+#include "workloads/browser.hh"
+#include "workloads/oltp.hh"
+#include "workloads/webserver.hh"
+
+namespace limit::benchsync {
+
+/** Aggregated results for one lock class of one app. */
+struct LockClassStats
+{
+    std::string name;
+    pec::RegionStats acquire;
+    pec::RegionStats held;
+};
+
+/** One instrumented application run. */
+struct SyncRunResult
+{
+    std::string app;
+    sim::Tick wallTicks = 0;
+    std::uint64_t totalCycles = 0; // user+kernel, all threads
+    std::uint64_t workItems = 0;   // txns / requests / events
+    std::vector<LockClassStats> locks;
+};
+
+inline void
+collectLock(const pec::RegionProfiler &prof, sim::RegionTable &regions,
+            const std::string &lock_name, SyncRunResult &out)
+{
+    LockClassStats s;
+    s.name = lock_name;
+    s.acquire = prof.stats(regions.find(lock_name + ".acquire"));
+    s.held = prof.stats(regions.find(lock_name + ".held"));
+    out.locks.push_back(std::move(s));
+}
+
+/** Run one app with lock instrumentation for `ticks`. */
+inline SyncRunResult
+runApp(const std::string &which, sim::Tick ticks)
+{
+    analysis::BundleOptions o;
+    o.cores = 4;
+    analysis::SimBundle b(o);
+    pec::PecSession session(b.kernel());
+    session.addEvent(0, sim::EventType::Cycles, true, true);
+    pec::RegionProfilerConfig rc;
+    rc.counters = {0};
+    pec::RegionProfiler prof(session, rc);
+
+    // A short-lived helper calibrates read overhead before the app
+    // threads begin measuring.
+    b.kernel().spawn("calibrate", [&](sim::Guest &g) -> sim::Task<void> {
+        co_await prof.calibrate(g);
+    });
+
+    SyncRunResult out;
+    out.app = which;
+
+    std::unique_ptr<workloads::OltpServer> oltp;
+    std::unique_ptr<workloads::WebServer> web;
+    std::unique_ptr<workloads::BrowserLoop> browser;
+
+    if (which == "oltp (MySQL-like)") {
+        workloads::OltpConfig cfg;
+        cfg.clients = 6;
+        cfg.readRatio = 0.5;
+        oltp = std::make_unique<workloads::OltpServer>(
+            b.machine(), b.kernel(), cfg, 1234);
+        oltp->attachProfiler(&prof);
+        oltp->spawn();
+    } else if (which == "web (Apache-like)") {
+        workloads::WebConfig cfg;
+        cfg.workers = 6;
+        web = std::make_unique<workloads::WebServer>(
+            b.machine(), b.kernel(), cfg, 1234);
+        web->attachProfiler(&prof);
+        web->spawn();
+    } else {
+        workloads::BrowserConfig cfg;
+        browser = std::make_unique<workloads::BrowserLoop>(
+            b.machine(), b.kernel(), cfg, 1234);
+        browser->attachProfiler(&prof);
+        browser->spawn();
+    }
+
+    out.wallTicks = b.run(ticks);
+    out.totalCycles = analysis::totalEvent(b.kernel(),
+                                           sim::EventType::Cycles);
+
+    auto &regions = b.machine().regions();
+    if (oltp) {
+        out.workItems = oltp->committed();
+        collectLock(prof, regions, "oltp.row-lock", out);
+        collectLock(prof, regions, "oltp.wal", out);
+    } else if (web) {
+        out.workItems = web->served();
+        collectLock(prof, regions, "web.cache-lock", out);
+        collectLock(prof, regions, "web.access-log", out);
+    } else {
+        out.workItems = browser->totalEvents();
+        collectLock(prof, regions, "browser.image-cache", out);
+    }
+    return out;
+}
+
+inline const std::vector<std::string> &
+appNames()
+{
+    static const std::vector<std::string> names = {
+        "oltp (MySQL-like)",
+        "web (Apache-like)",
+        "browser (Firefox-like)",
+    };
+    return names;
+}
+
+} // namespace limit::benchsync
+
+#endif // LIMIT_BENCH_SYNC_COMMON_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Scenario: what sampling obscures in a browser.
+ *
+ * Runs the Firefox-like event loop twice over the same event stream:
+ * once with precise per-handler measurement, once with a sampling
+ * profiler, and prints both views side by side. The short handlers
+ * (input, timers) all but vanish under sampling — the paper's
+ * "previously obscured (or impossible to obtain)" insight.
+ *
+ *   $ build/examples/browser_handlers
+ */
+
+#include <cstdio>
+
+#include "analysis/bundle.hh"
+#include "baseline/sampler.hh"
+#include "pec/pec.hh"
+#include "stats/table.hh"
+#include "workloads/browser.hh"
+
+using namespace limit;
+
+namespace {
+
+struct HandlerView
+{
+    std::uint64_t count = 0;
+    double meanCycles = 0;
+    double totalCycles = 0;
+};
+
+constexpr sim::Tick runTicks = 40'000'000;
+
+} // namespace
+
+int
+main()
+{
+    using workloads::BrowserEvent;
+    using workloads::numBrowserEvents;
+
+    // --- Run 1: precise per-handler measurement -----------------------
+    HandlerView precise[numBrowserEvents];
+    {
+        analysis::SimBundle b;
+        pec::PecSession session(b.kernel());
+        session.addEvent(0, sim::EventType::Cycles, true, true);
+        pec::RegionProfilerConfig rc;
+        rc.counters = {0};
+        pec::RegionProfiler prof(session, rc);
+        b.kernel().spawn("calibrate",
+                         [&](sim::Guest &g) -> sim::Task<void> {
+                             co_await prof.calibrate(g);
+                         });
+        workloads::BrowserLoop browser(b.machine(), b.kernel(), {},
+                                       42);
+        browser.attachProfiler(&prof);
+        browser.spawn();
+        b.run(runTicks);
+        for (unsigned i = 0; i < numBrowserEvents; ++i) {
+            const auto &s =
+                prof.stats(browser.handlerRegion(
+                    static_cast<BrowserEvent>(i)));
+            precise[i] = {s.entries, s.mean(0),
+                          static_cast<double>(s.totals[0])};
+        }
+    }
+
+    // --- Run 2: the same browser under a sampling profiler ------------
+    double sampled[numBrowserEvents];
+    std::uint64_t total_samples;
+    {
+        analysis::SimBundle b;
+        baseline::SamplingProfiler prof(b.kernel(), 0,
+                                        sim::EventType::Cycles,
+                                        250'000, true, true);
+        workloads::BrowserConfig cfg;
+        cfg.markRegions = true; // markers only: what perf-record sees
+        workloads::BrowserLoop browser(b.machine(), b.kernel(), cfg,
+                                       42);
+        browser.spawn();
+        b.run(runTicks);
+        prof.aggregate();
+        total_samples = prof.totalSamples();
+        for (unsigned i = 0; i < numBrowserEvents; ++i) {
+            sampled[i] = prof.estimate(browser.handlerRegion(
+                static_cast<BrowserEvent>(i)));
+        }
+    }
+
+    stats::Table t("browser event handlers: precise counting vs "
+                   "sampling (cycles attributed per handler type)");
+    t.header({"handler", "invocations", "mean cyc/event",
+              "precise total cyc", "sampled estimate",
+              "sampling error"});
+    for (unsigned i = 0; i < numBrowserEvents; ++i) {
+        const auto kind = static_cast<BrowserEvent>(i);
+        const double est = sampled[i];
+        const double truth = precise[i].totalCycles;
+        std::string err;
+        if (est == 0 && truth > 0) {
+            err = "INVISIBLE";
+        } else {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.0f%%",
+                          100.0 * (est - truth) / truth);
+            err = buf;
+        }
+        t.beginRow()
+            .cell(browserEventName(kind))
+            .cell(precise[i].count)
+            .cell(precise[i].meanCycles, 0)
+            .cell(truth, 0)
+            .cell(est, 0)
+            .cell(err);
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\n(sampling run collected %llu samples total)\n",
+                static_cast<unsigned long long>(total_samples));
+    std::puts("\nTakeaway: precise counting reports every handler — "
+              "including sub-microsecond input/timer work and its full "
+              "distribution — while the sampler's view of\n"
+              "short handlers is noise or nothing.");
+    return 0;
+}

@@ -1,0 +1,51 @@
+#include "analysis/bundle.hh"
+
+namespace limit::analysis {
+
+SimBundle::SimBundle(const BundleOptions &options)
+{
+    sim::MachineConfig mc;
+    mc.numCores = options.cores;
+    mc.pmuCounters = options.pmuCounters;
+    mc.pmuFeatures = options.pmuFeatures;
+    mc.seed = options.seed;
+    if (options.quantum != 0)
+        mc.costs.quantum = options.quantum;
+    machine_ = std::make_unique<sim::Machine>(mc);
+
+    if (options.useCaches) {
+        hierarchy_ = std::make_unique<mem::CacheHierarchy>(
+            options.cores, options.hierarchy);
+        machine_->setMemory(hierarchy_.get());
+    }
+
+    os::KernelConfig kc = options.kernelConfig;
+    kc.seed = options.seed ^ 0x5eed;
+    kernel_ = std::make_unique<os::Kernel>(*machine_, kc);
+}
+
+std::uint64_t
+totalEvent(os::Kernel &kernel, sim::EventType event, sim::PrivMode mode)
+{
+    std::uint64_t total = 0;
+    for (unsigned t = 0; t < kernel.numThreads(); ++t)
+        total += kernel.thread(t).ctx.ledger().count(event, mode);
+    return total;
+}
+
+std::uint64_t
+totalEvent(os::Kernel &kernel, sim::EventType event)
+{
+    return totalEvent(kernel, event, sim::PrivMode::User) +
+           totalEvent(kernel, event, sim::PrivMode::Kernel);
+}
+
+double
+percentOf(std::uint64_t a, std::uint64_t b)
+{
+    return b == 0 ? 0.0
+                  : 100.0 * static_cast<double>(a) /
+                        static_cast<double>(b);
+}
+
+} // namespace limit::analysis

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Experiment plumbing shared by benches, examples, and tests: a
+ * SimBundle wires a machine, cache hierarchy, and kernel together
+ * with one call, and small helpers aggregate ledger totals.
+ */
+
+#ifndef LIMIT_ANALYSIS_BUNDLE_HH
+#define LIMIT_ANALYSIS_BUNDLE_HH
+
+#include <memory>
+
+#include "mem/hierarchy.hh"
+#include "os/kernel.hh"
+#include "sim/machine.hh"
+
+namespace limit::analysis {
+
+/** Options for building a standard experiment machine. */
+struct BundleOptions
+{
+    unsigned cores = 4;
+    unsigned pmuCounters = 4;
+    sim::PmuFeatures pmuFeatures{};
+    /** 0 keeps the CostModel default quantum. */
+    sim::Tick quantum = 0;
+    std::uint64_t seed = 1;
+    /** Attach the Xeon-class cache hierarchy (vs. flat memory). */
+    bool useCaches = true;
+    mem::HierarchyConfig hierarchy{};
+    os::KernelConfig kernelConfig{};
+};
+
+/** Machine + memory + kernel with consistent construction order. */
+class SimBundle
+{
+  public:
+    explicit SimBundle(const BundleOptions &options = {});
+
+    sim::Machine &machine() { return *machine_; }
+    os::Kernel &kernel() { return *kernel_; }
+    mem::CacheHierarchy *hierarchy() { return hierarchy_.get(); }
+
+    /** Run with a stop request at `stop_at` ticks. */
+    sim::Tick
+    run(sim::Tick stop_at)
+    {
+        machine_->requestStopAt(stop_at);
+        return machine_->run();
+    }
+
+  private:
+    std::unique_ptr<sim::Machine> machine_;
+    std::unique_ptr<mem::CacheHierarchy> hierarchy_;
+    std::unique_ptr<os::Kernel> kernel_;
+};
+
+/** Sum one event across every thread (one privilege mode). */
+std::uint64_t totalEvent(os::Kernel &kernel, sim::EventType event,
+                         sim::PrivMode mode);
+
+/** Sum one event across every thread, both modes. */
+std::uint64_t totalEvent(os::Kernel &kernel, sim::EventType event);
+
+/** a / b as a percentage; 0 when b == 0. */
+double percentOf(std::uint64_t a, std::uint64_t b);
+
+} // namespace limit::analysis
+
+#endif // LIMIT_ANALYSIS_BUNDLE_HH

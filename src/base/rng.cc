@@ -1,0 +1,42 @@
+#include "base/rng.hh"
+
+#include <cmath>
+
+namespace limit {
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    panic_if(n == 0, "Rng::zipf over empty range");
+    if (n == 1)
+        return 0;
+    if (s <= 0.0)
+        return below(n);
+
+    // Rejection sampling against the continuous envelope
+    // f(x) = x^-s on [1, n+1) (Devroye). Expected iterations is small
+    // for the s in [0.5, 1.5] the workloads use.
+    const double nd = static_cast<double>(n);
+    for (int iter = 0; iter < 1024; ++iter) {
+        double u = uniform();
+        double x;
+        if (s == 1.0) {
+            x = std::exp(u * std::log(nd + 1.0));
+        } else {
+            const double t = std::pow(nd + 1.0, 1.0 - s);
+            x = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+        }
+        const auto k = static_cast<std::uint64_t>(x); // in [1, n]
+        if (k < 1 || k > n)
+            continue;
+        const double ratio =
+            std::pow(static_cast<double>(k) / x, s);
+        if (uniform() <= ratio)
+            return k - 1;
+    }
+    // Pathological parameters: fall back to uniform rather than spin.
+    warn("Rng::zipf rejection fallback (n=", n, " s=", s, ")");
+    return below(n);
+}
+
+} // namespace limit

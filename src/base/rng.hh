@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in the simulator owns a seeded Rng so that
+ * whole-machine runs are bit-for-bit reproducible. The generator is
+ * xoshiro256** (Blackman & Vigna), which is small, fast, and has no
+ * dependence on libc state.
+ */
+
+#ifndef LIMIT_BASE_RNG_HH
+#define LIMIT_BASE_RNG_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace limit {
+
+/**
+ * xoshiro256** pseudo-random generator with convenience draws.
+ *
+ * Satisfies UniformRandomBitGenerator so it can be plugged into
+ * standard distributions, though the member helpers cover the
+ * simulator's needs without the libstdc++ distribution objects (whose
+ * output is not specified across implementations).
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed via splitmix64 so that small consecutive seeds diverge. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        panic_if(bound == 0, "Rng::below(0)");
+        // Lemire's nearly-divisionless bounded draw, biased by at most
+        // 2^-64 which is immaterial for simulation workloads.
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>((*this)()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi], inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        panic_if(lo > hi, "Rng::range with lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric draw: number of failures before the first success with
+     * success probability p. Used for, e.g., instructions until the
+     * next branch mispredict. p must be in (0, 1].
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        panic_if(!(p > 0.0) || p > 1.0, "Rng::geometric(p) needs 0<p<=1");
+        if (p >= 1.0)
+            return 0;
+        std::uint64_t n = 0;
+        // Inverted-CDF would need log(); keep it allocation and
+        // libm-free for the hot path by rejecting in blocks.
+        while (!chance(p)) {
+            ++n;
+            if (n > (1ull << 32))
+                panic("Rng::geometric runaway; p too small: ", p);
+        }
+        return n;
+    }
+
+    /**
+     * Zipf-like draw over [0, n): rank r selected with probability
+     * proportional to 1/(r+1)^s, via rejection sampling against the
+     * harmonic envelope. Deterministic given the stream.
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double s);
+
+    /** Fork an independent stream (hash of a fresh draw). */
+    Rng
+    fork()
+    {
+        return Rng((*this)() ^ 0xa0761d6478bd642full);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace limit
+
+#endif // LIMIT_BASE_RNG_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Interchangeable counter access methods.
+ *
+ * The paper's headline comparison is between its fast userspace read
+ * and the access methods in use at the time: perf_event syscall
+ * reads, PAPI's library-over-syscall reads, and rusage-style time
+ * accounting. This interface lets the benches instrument one workload
+ * with any of them and compare cost/precision like for like.
+ */
+
+#ifndef LIMIT_BASELINE_READERS_HH
+#define LIMIT_BASELINE_READERS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "os/kernel.hh"
+#include "os/sysno.hh"
+#include "pec/session.hh"
+#include "sim/guest.hh"
+#include "sim/task.hh"
+
+namespace limit::baseline {
+
+/** A way of obtaining a 64-bit virtualized counter value. */
+class CounterReader
+{
+  public:
+    virtual ~CounterReader() = default;
+
+    /** Current value of counter `ctr` for the calling thread. */
+    virtual sim::Task<std::uint64_t> read(sim::Guest &g, unsigned ctr)
+        = 0;
+
+    /** Method name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** The paper's method: PEC fast userspace read. */
+class PecReader : public CounterReader
+{
+  public:
+    explicit PecReader(pec::PecSession &session) : session_(session) {}
+
+    sim::Task<std::uint64_t>
+    read(sim::Guest &g, unsigned ctr) override
+    {
+        const std::uint64_t v = co_await session_.read(g, ctr);
+        co_return v;
+    }
+
+    std::string
+    name() const override
+    {
+        return std::string("pec/") +
+               pec::policyName(session_.config().policy);
+    }
+
+  private:
+    pec::PecSession &session_;
+};
+
+/** perf_event-style read: one heavyweight syscall per value. */
+class PerfSyscallReader : public CounterReader
+{
+  public:
+    sim::Task<std::uint64_t>
+    read(sim::Guest &g, unsigned ctr) override
+    {
+        const std::uint64_t v =
+            co_await g.syscall(os::sysPerfRead, {ctr, 0, 0, 0});
+        co_return v;
+    }
+
+    std::string name() const override { return "perf-syscall"; }
+};
+
+/**
+ * PAPI-class read: a userspace library layer (event-set lookup,
+ * caching, bookkeeping) over a lighter kernel counter read.
+ */
+class PapiReader : public CounterReader
+{
+  public:
+    sim::Task<std::uint64_t>
+    read(sim::Guest &g, unsigned ctr) override
+    {
+        // Library-side work before and after the kernel crossing.
+        co_await g.compute(libraryInstrs / 2);
+        const std::uint64_t v =
+            co_await g.syscall(os::sysPapiRead, {ctr, 0, 0, 0});
+        co_await g.compute(libraryInstrs / 2);
+        co_return v;
+    }
+
+    std::string name() const override { return "papi-like"; }
+
+    /** Instructions of userspace library work per read. */
+    static constexpr std::uint64_t libraryInstrs = 380;
+};
+
+/**
+ * rusage-style accounting read: cheap-ish syscall, but it returns
+ * scheduler-tick-resolution time, not events — the "fast but useless
+ * for events" end of the old trade-off.
+ */
+class RusageReader : public CounterReader
+{
+  public:
+    sim::Task<std::uint64_t>
+    read(sim::Guest &g, unsigned /*ctr*/) override
+    {
+        const std::uint64_t v =
+            co_await g.syscall(os::sysRusage, {0, 0, 0, 0});
+        co_return v;
+    }
+
+    std::string name() const override { return "rusage"; }
+};
+
+} // namespace limit::baseline
+
+#endif // LIMIT_BASELINE_READERS_HH

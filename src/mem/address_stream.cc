@@ -1,0 +1,19 @@
+#include "mem/address_stream.hh"
+
+#include "base/logging.hh"
+
+namespace limit::mem {
+
+sim::Addr
+AddressSpace::allocate(std::uint64_t bytes, std::uint64_t align)
+{
+    fatal_if(bytes == 0, "allocating an empty region");
+    fatal_if(align == 0 || (align & (align - 1)) != 0,
+             "alignment must be a power of two");
+    next_ = (next_ + align - 1) & ~(align - 1);
+    const sim::Addr base = next_;
+    next_ += bytes;
+    return base;
+}
+
+} // namespace limit::mem

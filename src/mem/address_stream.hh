@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Synthetic address-stream generators for workload memory behaviour.
+ *
+ * Workloads hold real host data structures; what the cache model sees
+ * are these generated virtual addresses, which control working-set
+ * size and locality. An AddressSpace hands out disjoint regions so
+ * different structures/threads do not alias by accident.
+ */
+
+#ifndef LIMIT_MEM_ADDRESS_STREAM_HH
+#define LIMIT_MEM_ADDRESS_STREAM_HH
+
+#include <cstdint>
+
+#include "base/rng.hh"
+#include "sim/types.hh"
+
+namespace limit::mem {
+
+/** Bump allocator of disjoint virtual address regions. */
+class AddressSpace
+{
+  public:
+    /** Regions start above the zero page to keep addr 0 invalid. */
+    explicit AddressSpace(sim::Addr base = 0x10000) : next_(base) {}
+
+    /** Reserve `bytes`, aligned to `align` (power of two). */
+    sim::Addr allocate(std::uint64_t bytes, std::uint64_t align = 64);
+
+  private:
+    sim::Addr next_;
+};
+
+/** A contiguous region of guest address space. */
+struct Region
+{
+    sim::Addr base = 0;
+    std::uint64_t bytes = 0;
+
+    bool
+    contains(sim::Addr a) const
+    {
+        return a >= base && a < base + bytes;
+    }
+};
+
+/** Uniformly random word addresses within a region. */
+class UniformStream
+{
+  public:
+    UniformStream(Region region, Rng rng)
+        : region_(region), rng_(rng)
+    {}
+
+    sim::Addr
+    next()
+    {
+        return region_.base + (rng_.below(region_.bytes / 8) * 8);
+    }
+
+    const Region &region() const { return region_; }
+
+  private:
+    Region region_;
+    Rng rng_;
+};
+
+/** Sequential walk with configurable stride, wrapping at the end. */
+class StrideStream
+{
+  public:
+    StrideStream(Region region, std::uint64_t stride_bytes = 64)
+        : region_(region), stride_(stride_bytes)
+    {}
+
+    sim::Addr
+    next()
+    {
+        const sim::Addr a = region_.base + offset_;
+        offset_ += stride_;
+        if (offset_ >= region_.bytes)
+            offset_ = 0;
+        return a;
+    }
+
+    void reset() { offset_ = 0; }
+
+  private:
+    Region region_;
+    std::uint64_t stride_;
+    std::uint64_t offset_ = 0;
+};
+
+/**
+ * Zipf-skewed line addresses: a few lines are hot, the tail is cold.
+ * Models index/root-node reuse in the OLTP workload.
+ */
+class ZipfStream
+{
+  public:
+    ZipfStream(Region region, double skew, Rng rng)
+        : region_(region), skew_(skew), rng_(rng)
+    {}
+
+    sim::Addr
+    next()
+    {
+        const std::uint64_t lines = region_.bytes / 64;
+        const std::uint64_t line = rng_.zipf(lines, skew_);
+        // Scatter ranks across the region so hot lines do not all
+        // land in the same cache sets.
+        const std::uint64_t scattered =
+            (line * 0x9e3779b97f4a7c15ull) % lines;
+        return region_.base + scattered * 64;
+    }
+
+  private:
+    Region region_;
+    double skew_;
+    Rng rng_;
+};
+
+/**
+ * Dependent pointer chase over a pseudo-random permutation of the
+ * region's lines (Weyl-sequence step, which is a bijection for odd
+ * steps). Defeats any prefetch-like locality: consecutive addresses
+ * share nothing.
+ */
+class PointerChaseStream
+{
+  public:
+    PointerChaseStream(Region region, Rng rng)
+        : region_(region)
+    {
+        const std::uint64_t lines = region_.bytes / 64;
+        step_ = (rng.below(lines) * 2 + 1) % lines; // odd => bijection
+        if (step_ == 0)
+            step_ = 1;
+        pos_ = rng.below(lines);
+    }
+
+    sim::Addr
+    next()
+    {
+        const std::uint64_t lines = region_.bytes / 64;
+        pos_ = (pos_ + step_) % lines;
+        return region_.base + pos_ * 64;
+    }
+
+  private:
+    Region region_;
+    std::uint64_t step_ = 1;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace limit::mem
+
+#endif // LIMIT_MEM_ADDRESS_STREAM_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A single set-associative cache (or TLB) array with LRU replacement.
+ */
+
+#ifndef LIMIT_MEM_CACHE_HH
+#define LIMIT_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace limit::mem {
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned ways = 8;
+    unsigned lineBytes = 64;
+};
+
+/**
+ * Tag array with true-LRU replacement.
+ *
+ * Tracks hit/miss counts; data is not stored (the simulator keeps
+ * guest values in host objects), only presence.
+ */
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheGeometry &geometry);
+
+    const std::string &name() const { return name_; }
+    unsigned numSets() const { return numSets_; }
+    unsigned ways() const { return geometry_.ways; }
+    unsigned lineBytes() const { return geometry_.lineBytes; }
+
+    /**
+     * Probe for `addr`; on hit, refresh LRU state.
+     * @return true on hit.
+     */
+    bool access(sim::Addr addr);
+
+    /**
+     * Install the line containing `addr` (after a miss), evicting the
+     * LRU way when the set is full.
+     */
+    void fill(sim::Addr addr);
+
+    /** Probe without changing replacement state (tests/inspection). */
+    bool contains(sim::Addr addr) const;
+
+    /** Drop every line. */
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    std::uint64_t lineOf(sim::Addr addr) const;
+    unsigned setOf(std::uint64_t line) const;
+
+    std::string name_;
+    CacheGeometry geometry_;
+    unsigned numSets_;
+    /**
+     * ways_[set * ways + i] holds line numbers in LRU order (index 0
+     * is most recent); emptyLine marks an invalid way.
+     */
+    std::vector<std::uint64_t> lines_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+
+    static constexpr std::uint64_t emptyLine = ~0ull;
+};
+
+} // namespace limit::mem
+
+#endif // LIMIT_MEM_CACHE_HH

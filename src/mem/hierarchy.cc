@@ -1,0 +1,118 @@
+#include "mem/hierarchy.hh"
+
+#include "base/logging.hh"
+
+namespace limit::mem {
+
+CacheHierarchy::CacheHierarchy(unsigned num_cores,
+                               const HierarchyConfig &config)
+    : config_(config)
+{
+    fatal_if(num_cores == 0, "hierarchy needs at least one core");
+    for (unsigned i = 0; i < num_cores; ++i) {
+        l1d_.push_back(std::make_unique<Cache>(
+            "l1d" + std::to_string(i), config.l1d));
+        l2_.push_back(std::make_unique<Cache>(
+            "l2." + std::to_string(i), config.l2));
+        dtlb_.push_back(std::make_unique<Tlb>(config.dtlb));
+    }
+    llc_ = std::make_unique<Cache>("llc", config.llc);
+}
+
+Cache &
+CacheHierarchy::l1d(sim::CoreId core)
+{
+    panic_if(core >= l1d_.size(), "bad core id ", core);
+    return *l1d_[core];
+}
+
+Cache &
+CacheHierarchy::l2(sim::CoreId core)
+{
+    panic_if(core >= l2_.size(), "bad core id ", core);
+    return *l2_[core];
+}
+
+Tlb &
+CacheHierarchy::dtlb(sim::CoreId core)
+{
+    panic_if(core >= dtlb_.size(), "bad core id ", core);
+    return *dtlb_[core];
+}
+
+sim::MemAccessResult
+CacheHierarchy::access(sim::CoreId core, sim::Addr addr, bool write,
+                       bool atomic)
+{
+    panic_if(core >= l1d_.size(), "bad core id ", core);
+    sim::MemAccessResult r;
+    r.latency = 0;
+
+    // Address translation first.
+    Tlb &tlb = *dtlb_[core];
+    if (!tlb.access(addr)) {
+        tlb.fill(addr);
+        r.latency += config_.tlbMissPenalty;
+        r.deltas[sim::EventType::DTlbMiss] += 1;
+    }
+
+    // Data lookup: L1 -> L2 -> LLC -> memory; fill on the way back.
+    if (l1d_[core]->access(addr)) {
+        r.latency += config_.l1Latency;
+    } else {
+        r.deltas[sim::EventType::L1DMiss] += 1;
+        if (l2_[core]->access(addr)) {
+            r.latency += config_.l2Latency;
+        } else {
+            r.deltas[sim::EventType::L2Miss] += 1;
+            if (llc_->access(addr)) {
+                r.latency += config_.llcLatency;
+            } else {
+                r.deltas[sim::EventType::LLCMiss] += 1;
+                r.latency += config_.memLatency;
+                llc_->fill(addr);
+            }
+            l2_[core]->fill(addr);
+        }
+        l1d_[core]->fill(addr);
+
+        if (config_.nextLinePrefetch) {
+            const sim::Addr next = addr + config_.l2.lineBytes;
+            if (!l2_[core]->contains(next)) {
+                if (!llc_->contains(next))
+                    llc_->fill(next);
+                l2_[core]->fill(next);
+                ++prefetches_;
+            }
+        }
+    }
+
+    if (atomic) {
+        const std::uint64_t line = addr / config_.l1d.lineBytes;
+        auto it = lastAtomicWriter_.find(line);
+        const bool remote =
+            it != lastAtomicWriter_.end() && it->second != core;
+        r.latency += remote ? config_.atomicRemoteExtra
+                            : config_.atomicLocalExtra;
+        if (write)
+            lastAtomicWriter_[line] = core;
+    }
+
+    (void)write;
+    return r;
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    for (auto &c : l1d_)
+        c->flush();
+    for (auto &c : l2_)
+        c->flush();
+    llc_->flush();
+    for (auto &t : dtlb_)
+        t->flush();
+    lastAtomicWriter_.clear();
+}
+
+} // namespace limit::mem

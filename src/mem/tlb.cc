@@ -1,0 +1,53 @@
+#include "mem/tlb.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace limit::mem {
+
+Tlb::Tlb(const TlbGeometry &geometry) : geometry_(geometry)
+{
+    fatal_if(geometry.entries == 0, "TLB with zero entries");
+    fatal_if(geometry.pageBytes == 0 ||
+                 !std::has_single_bit(
+                     static_cast<std::uint64_t>(geometry.pageBytes)),
+             "TLB page size must be a power of two");
+}
+
+bool
+Tlb::access(sim::Addr addr)
+{
+    const std::uint64_t page = pageOf(addr);
+    auto it = where_.find(page);
+    if (it == where_.end()) {
+        ++misses_;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+}
+
+void
+Tlb::fill(sim::Addr addr)
+{
+    const std::uint64_t page = pageOf(addr);
+    if (where_.contains(page))
+        return;
+    if (lru_.size() >= geometry_.entries) {
+        where_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(page);
+    where_[page] = lru_.begin();
+}
+
+void
+Tlb::flush()
+{
+    lru_.clear();
+    where_.clear();
+}
+
+} // namespace limit::mem

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fully associative data TLB model.
+ */
+
+#ifndef LIMIT_MEM_TLB_HH
+#define LIMIT_MEM_TLB_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace limit::mem {
+
+/** TLB shape. */
+struct TlbGeometry
+{
+    unsigned entries = 64;
+    unsigned pageBytes = 4096;
+};
+
+/** Fully associative, true-LRU TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbGeometry &geometry);
+
+    /** Probe (and on hit refresh) the page containing `addr`. */
+    bool access(sim::Addr addr);
+
+    /** Install the page containing `addr`, evicting LRU if needed. */
+    void fill(sim::Addr addr);
+
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    unsigned pageBytes() const { return geometry_.pageBytes; }
+
+  private:
+    std::uint64_t pageOf(sim::Addr addr) const
+    {
+        return addr / geometry_.pageBytes;
+    }
+
+    TlbGeometry geometry_;
+    /** LRU list front = MRU; map page -> list node. */
+    std::list<std::uint64_t> lru_;
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        where_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace limit::mem
+
+#endif // LIMIT_MEM_TLB_HH

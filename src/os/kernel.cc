@@ -1,0 +1,486 @@
+#include "os/kernel.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "os/sysno.hh"
+#include "sim/cpu.hh"
+
+namespace limit::os {
+
+Kernel::Kernel(sim::Machine &machine, const KernelConfig &config)
+    : machine_(machine), config_(config),
+      scheduler_(machine.numCores()), perf_(*this), rng_(config.seed)
+{
+    machine_.setKernel(this);
+}
+
+Kernel::~Kernel() = default;
+
+Thread &
+Kernel::thread(sim::ThreadId tid)
+{
+    panic_if(tid >= threads_.size(), "bad thread id ", tid);
+    return *threads_[tid];
+}
+
+const Thread &
+Kernel::thread(sim::ThreadId tid) const
+{
+    panic_if(tid >= threads_.size(), "bad thread id ", tid);
+    return *threads_[tid];
+}
+
+Thread &
+Kernel::threadOf(sim::GuestContext &ctx)
+{
+    panic_if(!ctx.osThread, "guest context without a kernel thread");
+    return *static_cast<Thread *>(ctx.osThread);
+}
+
+sim::ThreadId
+Kernel::spawn(std::string name,
+              std::function<sim::Task<void>(sim::Guest &)> body)
+{
+    const sim::CoreId core = nextSpawnCore_;
+    nextSpawnCore_ = (nextSpawnCore_ + 1) % machine_.numCores();
+    return spawnOn(core, /*pinned=*/false, std::move(name),
+                   std::move(body));
+}
+
+sim::ThreadId
+Kernel::spawnOn(sim::CoreId core, bool pinned, std::string name,
+                std::function<sim::Task<void>(sim::Guest &)> body)
+{
+    fatal_if(core >= machine_.numCores(), "spawn on nonexistent core ",
+             core);
+    const auto tid = static_cast<sim::ThreadId>(threads_.size());
+    threads_.push_back(std::make_unique<Thread>(
+        machine_, tid, std::move(name), rng_()));
+    Thread &t = *threads_.back();
+    t.homeCore = core;
+    t.pinned = pinned;
+    perf_.initThread(t); // inherit sampling preloads into saved state
+    t.ctx.start(std::move(body));
+    ++liveThreads_;
+
+    // Same placement policy as a wake: preferred core when idle, any
+    // idle core otherwise, else the preferred core's run queue.
+    t.state = ThreadState::Runnable;
+    wakeThread(t, machine_.cpu(core).now(), 0);
+    return tid;
+}
+
+void
+Kernel::configureCounter(unsigned idx, const sim::CounterConfig &cfg)
+{
+    for (sim::CoreId c = 0; c < machine_.numCores(); ++c)
+        machine_.cpu(c).pmu().configure(idx, cfg);
+    for (auto &t : threads_) {
+        t->savedCounters[idx] = 0;
+        t->perfAccum[idx] = 0;
+    }
+}
+
+void
+Kernel::setCounterEnabled(unsigned idx, bool enabled)
+{
+    for (sim::CoreId c = 0; c < machine_.numCores(); ++c)
+        machine_.cpu(c).pmu().setEnabled(idx, enabled);
+}
+
+unsigned
+Kernel::numEnabledCounters() const
+{
+    const sim::Pmu &pmu =
+        const_cast<sim::Machine &>(machine_).cpu(0).pmu();
+    unsigned n = 0;
+    for (unsigned i = 0; i < pmu.numCounters(); ++i) {
+        if (pmu.config(i).enabled)
+            ++n;
+    }
+    return n;
+}
+
+void
+Kernel::setPmiHandler(unsigned idx, PmiHandler handler)
+{
+    panic_if(idx >= sim::maxPmuCounters, "bad counter index ", idx);
+    pmiHandlers_[idx] = std::move(handler);
+}
+
+void
+Kernel::clearPmiHandler(unsigned idx)
+{
+    panic_if(idx >= sim::maxPmuCounters, "bad counter index ", idx);
+    pmiHandlers_[idx] = nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------
+
+Thread *
+Kernel::pickNext(sim::CoreId core)
+{
+    const sim::ThreadId tid = scheduler_.dequeue(
+        core, [this, core](sim::ThreadId cand) {
+            return !thread(cand).pinned || thread(cand).homeCore == core;
+        });
+    return tid == sim::invalidThread ? nullptr : &thread(tid);
+}
+
+void
+Kernel::deschedule(sim::Cpu &cpu, Thread &t, ThreadState to,
+                   bool voluntary)
+{
+    panic_if(cpu.current() != &t.ctx, "descheduling a non-current thread");
+
+    // The switch cost (and its counter events) is charged while the
+    // outgoing thread is still current so both the ledger and the
+    // virtualized counters attribute it to the thread being switched
+    // out — matching how tick-based kernels account switch time.
+    sim::EventDeltas d;
+    d[sim::EventType::ContextSwitches] = 1;
+    cpu.applyEvents(sim::PrivMode::Kernel, d);
+    cpu.kernelWork(cpu.costs().contextSwitchCost);
+
+    if (config_.virtualizeCounters) {
+        sim::Pmu &pmu = cpu.pmu();
+        unsigned enabled = 0;
+        for (unsigned i = 0; i < pmu.numCounters(); ++i) {
+            if (!pmu.config(i).enabled)
+                continue;
+            ++enabled;
+            t.savedCounters[i] =
+                perf_.adjustSavedValue(i, pmu.read(i));
+        }
+        // Tagged virtualization (hardware enhancement #3) swaps the
+        // counter set in hardware: no per-counter MSR cost.
+        if (!pmu.features().taggedVirtualization && enabled > 0) {
+            cpu.kernelWork(enabled * cpu.costs().counterSwitchCost / 2);
+        }
+    }
+
+    if (voluntary)
+        ++t.voluntarySwitches;
+    else
+        ++t.involuntarySwitches;
+    ++contextSwitches_;
+    t.state = to;
+    cpu.setCurrent(nullptr);
+}
+
+void
+Kernel::installThread(sim::Cpu &cpu, Thread &t)
+{
+    panic_if(!cpu.idle(), "installing on a busy core");
+    panic_if(t.state == ThreadState::Done, "installing a finished thread");
+
+    cpu.setCurrent(&t.ctx);
+    t.state = ThreadState::Running;
+    t.homeCore = cpu.id();
+    if (t.firstScheduledAt == sim::maxTick)
+        t.firstScheduledAt = cpu.now();
+
+    if (config_.virtualizeCounters) {
+        sim::Pmu &pmu = cpu.pmu();
+        unsigned enabled = 0;
+        for (unsigned i = 0; i < pmu.numCounters(); ++i) {
+            if (pmu.config(i).enabled)
+                ++enabled;
+        }
+        if (!pmu.features().taggedVirtualization && enabled > 0)
+            cpu.kernelWork(enabled * cpu.costs().counterSwitchCost / 2);
+        // Hardware restore happens at the end of the switch path; the
+        // restore's own kernel cycles are not visible in the restored
+        // values (modelled measurement fuzz for kernel-mode counters).
+        for (unsigned i = 0; i < pmu.numCounters(); ++i) {
+            if (pmu.config(i).enabled)
+                pmu.write(i, t.savedCounters[i]);
+        }
+    }
+
+    cpu.quantumEnd = cpu.now() + cpu.costs().quantum;
+}
+
+void
+Kernel::wakeThread(Thread &t, sim::Tick earliest, std::uint64_t wake_value)
+{
+    panic_if(t.state == ThreadState::Running ||
+                 t.state == ThreadState::Done,
+             "waking thread '", t.ctx.name(), "' in state ",
+             threadStateName(t.state));
+    t.ctx.result = wake_value;
+    t.futexWord = nullptr;
+    t.state = ThreadState::Runnable;
+
+    // Prefer the home core when idle, else any idle core (unless
+    // pinned), else queue on the home core.
+    sim::Cpu *target = nullptr;
+    if (machine_.cpu(t.homeCore).idle()) {
+        target = &machine_.cpu(t.homeCore);
+    } else if (!t.pinned) {
+        for (sim::CoreId c = 0; c < machine_.numCores(); ++c) {
+            if (machine_.cpu(c).idle()) {
+                target = &machine_.cpu(c);
+                break;
+            }
+        }
+    }
+    if (target) {
+        target->syncTimeAtLeast(earliest);
+        // The idle core pays the switch-in cost (no deschedule ran);
+        // charged after install so it is attributed to the incoming
+        // thread's ledger and counters.
+        installThread(*target, t);
+        target->kernelWork(target->costs().contextSwitchCost);
+    } else {
+        scheduler_.enqueue(t.homeCore, t.ctx.tid());
+    }
+}
+
+void
+Kernel::timerTick(sim::Cpu &cpu)
+{
+    panic_if(cpu.idle(), "timer tick on an idle core");
+    Thread &t = threadOf(*cpu.current());
+    cpu.kernelWork(cpu.costs().timerIrqCost);
+    // Tick-based accounting: the whole jiffy goes to whichever mode
+    // dominated it — the coarse attribution real tick-based kernels
+    // perform, and exactly the imprecision rusage readers inherit.
+    const std::uint64_t kcycles =
+        t.ctx.ledger().count(sim::EventType::Cycles,
+                             sim::PrivMode::Kernel);
+    if (kcycles - t.kernelCyclesAtTick > cpu.costs().quantum / 2)
+        ++t.kernelJiffies;
+    else
+        ++t.userJiffies;
+    t.kernelCyclesAtTick = kcycles;
+
+    Thread *next = pickNext(cpu.id());
+    if (next) {
+        deschedule(cpu, t, ThreadState::Runnable, /*voluntary=*/false);
+        scheduler_.enqueue(cpu.id(), t.ctx.tid());
+        installThread(cpu, *next);
+    } else {
+        cpu.quantumEnd = cpu.now() + cpu.costs().quantum;
+    }
+}
+
+void
+Kernel::threadExited(sim::Cpu &cpu, sim::GuestContext &ctx)
+{
+    Thread &t = threadOf(ctx);
+    cpu.kernelWork(cpu.costs().exitKernelCost);
+    t.exitedAt = cpu.now();
+    deschedule(cpu, t, ThreadState::Done, /*voluntary=*/true);
+    panic_if(liveThreads_ == 0, "thread exit underflow");
+    --liveThreads_;
+
+    Thread *next = pickNext(cpu.id());
+    if (next)
+        installThread(cpu, *next);
+}
+
+void
+Kernel::poll(sim::Tick now)
+{
+    while (!sleepers_.empty()) {
+        const auto [wake_at, tid] = sleepers_.top();
+        Thread &t = thread(tid);
+        if (t.state != ThreadState::Sleeping) {
+            sleepers_.pop(); // stale entry
+            continue;
+        }
+        if (now == sim::maxTick) {
+            // Everything is idle: wake only the earliest sleeper; the
+            // machine loop re-polls with real time afterwards.
+            sleepers_.pop();
+            wakeThread(t, wake_at, 0);
+            return;
+        }
+        if (wake_at > now)
+            return;
+        sleepers_.pop();
+        wakeThread(t, wake_at, 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// PMIs
+// ---------------------------------------------------------------------
+
+void
+Kernel::pmuOverflow(sim::Cpu &cpu, unsigned counter, std::uint32_t wraps)
+{
+    // Handler first so it observes the true delivery time (skid
+    // modelling depends on it); the PMI entry/exit cost is charged to
+    // the same thread immediately after.
+    if (pmiHandlers_[counter])
+        pmiHandlers_[counter](cpu, cpu.current(), counter, wraps);
+    cpu.kernelWork(cpu.costs().pmiCost);
+}
+
+// ---------------------------------------------------------------------
+// Syscalls
+// ---------------------------------------------------------------------
+
+sim::SyscallOutcome
+Kernel::syscall(sim::Cpu &cpu, sim::GuestContext &ctx, std::uint32_t nr,
+                const std::array<std::uint64_t, 4> &args)
+{
+    Thread &t = threadOf(ctx);
+    const sim::CostModel &costs = cpu.costs();
+
+    switch (static_cast<Sys>(nr)) {
+      case sysNop:
+        cpu.kernelWork(costs.trivialSyscallCost);
+        return {0, false};
+
+      case sysGetTid:
+        cpu.kernelWork(costs.trivialSyscallCost);
+        return {t.ctx.tid(), false};
+
+      case sysYield:
+        return sysYieldImpl(cpu, t);
+
+      case sysSleep:
+        return sysSleepImpl(cpu, t, args[0], costs.trivialSyscallCost);
+
+      case sysIoSubmit:
+        return sysSleepImpl(cpu, t, args[0], costs.ioSyscallCost);
+
+      case sysFutexWait:
+        return sysFutexWaitImpl(cpu, t, args);
+
+      case sysFutexWake:
+        return sysFutexWakeImpl(cpu, t, args);
+
+      case sysPerfRead:
+        return {perf_.read(cpu, t, static_cast<unsigned>(args[0])),
+                false};
+
+      case sysPapiRead:
+        return {perf_.readPapi(cpu, t, static_cast<unsigned>(args[0])),
+                false};
+
+      case sysPerfIoctl:
+        perf_.ioctl(cpu, t, static_cast<unsigned>(args[0]),
+                    static_cast<PerfIoctlOp>(args[1]));
+        return {0, false};
+
+      case sysPmcConfig:
+        cpu.kernelWork(costs.trapEntryCost / 2 +
+                       2 * args[0] * costs.msrAccessCost);
+        return {0, false};
+
+      case sysRusage: {
+        cpu.kernelWork(costs.rusageKernelCost);
+        const std::uint64_t jiffies =
+            args[0] == 0 ? t.userJiffies : t.kernelJiffies;
+        return {jiffies * costs.quantum, false};
+      }
+
+      default:
+        fatal("unknown syscall ", nr, " from thread '", ctx.name(), "'");
+    }
+}
+
+sim::SyscallOutcome
+Kernel::sysYieldImpl(sim::Cpu &cpu, Thread &t)
+{
+    cpu.kernelWork(cpu.costs().yieldKernelCost);
+    Thread *next = pickNext(cpu.id());
+    if (!next) {
+        cpu.quantumEnd = cpu.now() + cpu.costs().quantum;
+        return {0, false};
+    }
+    deschedule(cpu, t, ThreadState::Runnable, /*voluntary=*/true);
+    scheduler_.enqueue(cpu.id(), t.ctx.tid());
+    installThread(cpu, *next);
+    // The result slot is already valid (0); no wake needed.
+    t.ctx.result = 0;
+    return {0, true};
+}
+
+sim::SyscallOutcome
+Kernel::sysSleepImpl(sim::Cpu &cpu, Thread &t, sim::Tick duration,
+                     sim::Tick cost)
+{
+    cpu.kernelWork(cost);
+    t.wakeTick = cpu.now() + duration;
+    sleepers_.emplace(t.wakeTick, t.ctx.tid());
+    deschedule(cpu, t, ThreadState::Sleeping, /*voluntary=*/true);
+    Thread *next = pickNext(cpu.id());
+    if (next)
+        installThread(cpu, *next);
+    return {0, true};
+}
+
+sim::SyscallOutcome
+Kernel::sysFutexWaitImpl(sim::Cpu &cpu, Thread &t,
+                         const std::array<std::uint64_t, 4> &args)
+{
+    cpu.kernelWork(cpu.costs().futexWaitKernelCost);
+    const auto *word =
+        reinterpret_cast<const std::uint64_t *>(args[0]);
+    panic_if(word == nullptr, "futex wait on null word");
+    // The op-granular global serialization makes this check atomic
+    // with respect to every guest store.
+    if (*word != args[1])
+        return {1 /* EAGAIN */, false};
+
+    t.futexWord = word;
+    futexQueues_[word].push_back(t.ctx.tid());
+    deschedule(cpu, t, ThreadState::Blocked, /*voluntary=*/true);
+    Thread *next = pickNext(cpu.id());
+    if (next)
+        installThread(cpu, *next);
+    return {0, true};
+}
+
+sim::SyscallOutcome
+Kernel::sysFutexWakeImpl(sim::Cpu &cpu, Thread &,
+                         const std::array<std::uint64_t, 4> &args)
+{
+    cpu.kernelWork(cpu.costs().futexWakeKernelCost);
+    const auto *word =
+        reinterpret_cast<const std::uint64_t *>(args[0]);
+    const std::uint64_t max_wake = args[1];
+
+    auto it = futexQueues_.find(word);
+    if (it == futexQueues_.end())
+        return {0, false};
+
+    std::uint64_t woken = 0;
+    auto &queue = it->second;
+    while (woken < max_wake && !queue.empty()) {
+        const sim::ThreadId tid = queue.front();
+        queue.pop_front();
+        Thread &w = thread(tid);
+        panic_if(w.state != ThreadState::Blocked,
+                 "futex queue held thread '", w.ctx.name(),
+                 "' in state ", threadStateName(w.state));
+        wakeThread(w, cpu.now(), 0);
+        ++woken;
+    }
+    if (queue.empty())
+        futexQueues_.erase(it);
+    return {woken, false};
+}
+
+std::string
+Kernel::blockedReport() const
+{
+    std::ostringstream os;
+    for (const auto &t : threads_) {
+        if (t->state == ThreadState::Done)
+            continue;
+        os << "  thread " << t->ctx.tid() << " '" << t->ctx.name()
+           << "': " << threadStateName(t->state) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace limit::os

@@ -1,0 +1,115 @@
+#include "pec/multiplex.hh"
+
+#include "base/logging.hh"
+#include "os/sysno.hh"
+#include "sim/cpu.hh"
+
+namespace limit::pec {
+
+MuxSession::MuxSession(os::Kernel &kernel, unsigned counter,
+                       std::vector<MuxEvent> events)
+    : kernel_(kernel), counter_(counter), events_(std::move(events)),
+      activeTime_(events_.size(), 0)
+{
+    fatal_if(events_.empty(), "multiplexing over no events");
+    configureCurrent();
+}
+
+MuxSession::~MuxSession()
+{
+    sim::CounterConfig off;
+    kernel_.configureCounter(counter_, off);
+}
+
+void
+MuxSession::configureCurrent()
+{
+    const MuxEvent &e = events_[current_];
+    sim::CounterConfig cfg;
+    cfg.event = e.event;
+    cfg.countUser = e.user;
+    cfg.countKernel = e.kernelMode;
+    cfg.enabled = true;
+    cfg.interruptOnOverflow = false; // wide-counter assumption
+    kernel_.configureCounter(counter_, cfg); // zeroes values + saves
+}
+
+void
+MuxSession::harvest(sim::Tick now)
+{
+    const unsigned n = kernel_.numThreads();
+    if (counts_.size() < n)
+        counts_.resize(n, std::vector<std::uint64_t>(events_.size(), 0));
+
+    for (sim::ThreadId tid = 0; tid < n; ++tid) {
+        os::Thread &t = kernel_.thread(tid);
+        std::uint64_t v;
+        sim::Cpu &home = kernel_.machine().cpu(t.ctx.lastCore);
+        if (home.current() == &t.ctx) {
+            v = home.pmu().read(counter_);
+        } else {
+            v = t.savedCounters[counter_];
+        }
+        counts_[tid][current_] += v;
+    }
+    activeTime_[current_] += now > windowStart_ ? now - windowStart_ : 0;
+    windowStart_ = now;
+}
+
+sim::Task<void>
+MuxSession::rotate(sim::Guest &g)
+{
+    // Pay for the MSR rewrites in guest time first, then perform the
+    // host-side reconfiguration at that same instant.
+    co_await g.syscall(os::sysPmcConfig, {1, 0, 0, 0});
+    harvest(g.now());
+    current_ = (current_ + 1) % events_.size();
+    ++rotations_;
+    configureCurrent();
+}
+
+void
+MuxSession::finish(sim::Tick now)
+{
+    panic_if(finished_, "MuxSession::finish called twice");
+    harvest(now);
+    finished_ = true;
+}
+
+std::uint64_t
+MuxSession::rawCount(sim::ThreadId tid, unsigned idx) const
+{
+    panic_if(idx >= events_.size(), "bad mux event index");
+    if (tid >= counts_.size())
+        return 0;
+    return counts_[tid][idx];
+}
+
+double
+MuxSession::estimate(sim::ThreadId tid, unsigned idx) const
+{
+    const sim::Tick active = activeTime(idx);
+    if (active == 0)
+        return 0.0;
+    return static_cast<double>(rawCount(tid, idx)) *
+           static_cast<double>(totalTime()) /
+           static_cast<double>(active);
+}
+
+sim::Tick
+MuxSession::activeTime(unsigned idx) const
+{
+    panic_if(idx >= events_.size(), "bad mux event index");
+    return activeTime_[idx];
+}
+
+sim::Tick
+MuxSession::totalTime() const
+{
+    sim::Tick t = 0;
+    for (auto a : activeTime_)
+        t += a;
+    return t;
+}
+
+} // namespace limit::pec

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Time-multiplexed counting: more events than hardware counters.
+ *
+ * When a study needs M events but the PMU has K < M counters, the
+ * classic workaround rotates event groups through the counters and
+ * scales each event's raw count by the inverse of its duty cycle.
+ * The paper points out that this breaks precision — the scaled value
+ * is an extrapolation, not a count — which this module makes
+ * measurable (experiment E10): run a workload under multiplexing and
+ * compare the estimates against the simulator's exact ledger.
+ */
+
+#ifndef LIMIT_PEC_MULTIPLEX_HH
+#define LIMIT_PEC_MULTIPLEX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "os/kernel.hh"
+#include "sim/task.hh"
+#include "sim/types.hh"
+
+namespace limit::pec {
+
+/** One multiplexed event. */
+struct MuxEvent
+{
+    sim::EventType event;
+    bool user = true;
+    bool kernelMode = false;
+};
+
+/**
+ * Rotates a list of events through one hardware counter and produces
+ * duty-cycle-scaled estimates per thread.
+ *
+ * A guest "rotator" thread drives rotation by calling rotate() on a
+ * fixed cadence (paying the MSR-write syscall each time). Harvesting
+ * reads each thread's virtualized counter value host-side, exactly
+ * the way a kernel-resident multiplexer would at rotation interrupts.
+ * Counters are assumed wide enough not to wrap within one window
+ * (48-bit default: always true at simulation scale).
+ */
+class MuxSession
+{
+  public:
+    MuxSession(os::Kernel &kernel, unsigned counter,
+               std::vector<MuxEvent> events);
+    ~MuxSession();
+
+    /** Switch to the next event group (call from a guest thread). */
+    sim::Task<void> rotate(sim::Guest &g);
+
+    /** Close the final window at `now` (after the run completes). */
+    void finish(sim::Tick now);
+
+    unsigned numEvents() const
+    {
+        return static_cast<unsigned>(events_.size());
+    }
+
+    /** Raw (unscaled) count of event `idx` for thread `tid`. */
+    std::uint64_t rawCount(sim::ThreadId tid, unsigned idx) const;
+
+    /** Duty-cycle-scaled estimate of event `idx` for thread `tid`. */
+    double estimate(sim::ThreadId tid, unsigned idx) const;
+
+    /** Ticks during which event `idx` was actually counting. */
+    sim::Tick activeTime(unsigned idx) const;
+
+    /** Total ticks across all windows. */
+    sim::Tick totalTime() const;
+
+    std::uint64_t rotations() const { return rotations_; }
+
+  private:
+    void configureCurrent();
+    void harvest(sim::Tick now);
+
+    os::Kernel &kernel_;
+    unsigned counter_;
+    std::vector<MuxEvent> events_;
+    unsigned current_ = 0;
+    sim::Tick windowStart_ = 0;
+    bool finished_ = false;
+    std::uint64_t rotations_ = 0;
+    std::vector<sim::Tick> activeTime_;
+    /** counts_[tid][event] raw totals. */
+    std::vector<std::vector<std::uint64_t>> counts_;
+};
+
+} // namespace limit::pec
+
+#endif // LIMIT_PEC_MULTIPLEX_HH

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Umbrella header for the precise event counting (PEC) library — the
+ * public API of this repository's core contribution.
+ *
+ * Quick tour:
+ *   - PecSession  (pec/session.hh):   program counters, fast reads,
+ *                                     overflow policies.
+ *   - RegionProfiler (pec/region.hh): exact per-code-segment
+ *                                     attribution with calibration.
+ *   - MuxSession  (pec/multiplex.hh): event multiplexing and its
+ *                                     estimation error.
+ *
+ * See examples/quickstart.cc for the minimal end-to-end flow.
+ */
+
+#ifndef LIMIT_PEC_PEC_HH
+#define LIMIT_PEC_PEC_HH
+
+#include "pec/multiplex.hh"
+#include "pec/region.hh"
+#include "pec/session.hh"
+
+#endif // LIMIT_PEC_PEC_HH

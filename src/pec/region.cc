@@ -1,0 +1,134 @@
+#include "pec/region.hh"
+
+#include "base/logging.hh"
+
+namespace limit::pec {
+
+RegionProfiler::RegionProfiler(PecSession &session,
+                               RegionProfilerConfig config)
+    : session_(session), config_(std::move(config))
+{
+    fatal_if(config_.counters.empty(),
+             "RegionProfiler needs at least one counter");
+    for (unsigned c : config_.counters) {
+        fatal_if(!session_.eventActive(c),
+                 "RegionProfiler counter ", c, " has no active event");
+    }
+    bool hist_ok = false;
+    for (unsigned c : config_.counters)
+        hist_ok |= (c == config_.histogramCounter);
+    fatal_if(!hist_ok, "histogramCounter must be one of the counters");
+}
+
+sim::Task<std::uint64_t>
+RegionProfiler::readCounter(sim::Guest &g, unsigned ctr)
+{
+    if (config_.destructiveReads) {
+        const std::uint64_t v = co_await session_.readDelta(g, ctr);
+        co_return v;
+    }
+    const std::uint64_t v = co_await session_.read(g, ctr);
+    co_return v;
+}
+
+sim::Task<void>
+RegionProfiler::calibrate(sim::Guest &g)
+{
+    constexpr unsigned reps = 32;
+    std::array<std::uint64_t, sim::maxPmuCounters> sums{};
+
+    for (unsigned r = 0; r < reps; ++r) {
+        // Snapshot the full counter sequence twice back to back, the
+        // same way enter/exit will, so inter-counter skew cancels.
+        std::array<std::uint64_t, sim::maxPmuCounters> first{};
+        for (unsigned c : config_.counters) {
+            const std::uint64_t v = co_await session_.read(g, c);
+            first[c] = v;
+        }
+        for (unsigned c : config_.counters) {
+            const std::uint64_t v = co_await session_.read(g, c);
+            sums[c] += v - first[c];
+        }
+    }
+    for (unsigned c : config_.counters)
+        overhead_[c] = sums[c] / reps;
+    calibrated_ = true;
+}
+
+sim::Task<void>
+RegionProfiler::enter(sim::Guest &g, sim::RegionId region)
+{
+    PecThreadState &st = session_.threadState(g.context());
+    // Keep the sampling profiler's view in sync so the same run can
+    // be measured both ways (comparison experiments).
+    co_await g.regionEnter(region);
+
+    SegFrame frame;
+    frame.region = region;
+    if (config_.destructiveReads) {
+        // Reset-on-read: drain whatever accumulated before the region
+        // so exit's readDelta returns the segment count directly.
+        for (unsigned c : config_.counters) {
+            const std::uint64_t discarded = co_await readCounter(g, c);
+            (void)discarded;
+        }
+    } else {
+        for (unsigned c : config_.counters) {
+            const std::uint64_t v = co_await readCounter(g, c);
+            frame.start[c] = v;
+        }
+    }
+    st.segStack.push_back(frame);
+}
+
+sim::Task<void>
+RegionProfiler::exit(sim::Guest &g, sim::RegionId region)
+{
+    PecThreadState &st = session_.threadState(g.context());
+    panic_if(st.segStack.empty(), "RegionProfiler::exit with no open "
+                                  "segment in thread '",
+             g.name(), "'");
+    panic_if(st.segStack.back().region != region,
+             "RegionProfiler::exit region mismatch in thread '",
+             g.name(), "'");
+
+    std::array<std::uint64_t, sim::maxPmuCounters> deltas{};
+    const SegFrame frame = st.segStack.back();
+    for (unsigned c : config_.counters) {
+        const std::uint64_t v = co_await readCounter(g, c);
+        deltas[c] = config_.destructiveReads ? v : v - frame.start[c];
+    }
+    st.segStack.pop_back();
+    co_await g.regionExit();
+
+    RegionStats &rs = stats_[region];
+    ++rs.entries;
+    for (unsigned c : config_.counters) {
+        std::uint64_t d = deltas[c];
+        if (config_.subtractOverhead && calibrated_)
+            d = d > overhead_[c] ? d - overhead_[c] : 0;
+        rs.totals[c] += d;
+        if (c == config_.histogramCounter)
+            rs.histogram.add(d);
+    }
+}
+
+const RegionStats &
+RegionProfiler::stats(sim::RegionId region) const
+{
+    static const RegionStats empty;
+    auto it = stats_.find(region);
+    return it == stats_.end() ? empty : it->second;
+}
+
+std::vector<sim::RegionId>
+RegionProfiler::regions() const
+{
+    std::vector<sim::RegionId> out;
+    out.reserve(stats_.size());
+    for (const auto &[r, s] : stats_)
+        out.push_back(r);
+    return out;
+}
+
+} // namespace limit::pec

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * PecSession: precise event counting — the paper's core contribution.
+ *
+ * A session programs hardware counters, installs the kernel-side
+ * pieces (counter virtualization across context switches plus the
+ * overflow handler), and provides the userspace fast read: a handful
+ * of instructions summing a per-thread 64-bit overflow accumulator
+ * with an rdpmc of the live hardware counter — no kernel crossing.
+ *
+ * The well-known hazard of that read is the overflow race: if the
+ * counter wraps between the accumulator load and the rdpmc, the sum
+ * undercounts by 2^width. The session supports four policies:
+ *
+ *   - None:        raw rdpmc, no virtualization. Cheapest, wraps and
+ *                  leaks across threads without kernel support.
+ *   - NaiveSum:    accumulator + rdpmc with no race protection;
+ *                  demonstrates the rare huge undercounts.
+ *   - KernelFixup: the paper's mechanism. The overflow handler checks
+ *                  whether the interrupted thread was inside the read
+ *                  sequence and, if so, restarts the read (modelled as
+ *                  a retry loop; the real patch rewinds the PC).
+ *                  Zero added cost on reads that see no overflow.
+ *   - DoubleCheck: a purely-userspace alternative that re-reads the
+ *                  accumulator and retries on change; a couple of
+ *                  extra instructions on every read.
+ */
+
+#ifndef LIMIT_PEC_SESSION_HH
+#define LIMIT_PEC_SESSION_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "os/kernel.hh"
+#include "sim/guest.hh"
+#include "sim/task.hh"
+#include "sim/types.hh"
+
+namespace limit::pec {
+
+/** How userspace reads survive counter overflow. */
+enum class OverflowPolicy : std::uint8_t {
+    None,
+    NaiveSum,
+    KernelFixup,
+    DoubleCheck,
+};
+
+/** Short policy name for reports. */
+constexpr const char *
+policyName(OverflowPolicy p)
+{
+    switch (p) {
+      case OverflowPolicy::None: return "none";
+      case OverflowPolicy::NaiveSum: return "naive-sum";
+      case OverflowPolicy::KernelFixup: return "kernel-fixup";
+      case OverflowPolicy::DoubleCheck: return "double-check";
+      default: return "?";
+    }
+}
+
+/** Session-wide configuration. */
+struct PecConfig
+{
+    OverflowPolicy policy = OverflowPolicy::KernelFixup;
+};
+
+/** One open (entered, not yet exited) segment measurement. */
+struct SegFrame
+{
+    sim::RegionId region = sim::noRegion;
+    std::array<std::uint64_t, sim::maxPmuCounters> start{};
+};
+
+/** Per-thread userspace counter page (lazily attached to a thread). */
+struct PecThreadState
+{
+    /** 64-bit overflow accumulators, one per hardware counter. */
+    std::array<std::uint64_t, sim::maxPmuCounters> ovfAccum{};
+    /** Simulated address of this thread's counter page. */
+    sim::Addr pageAddr = 0;
+    /** Stack of open segment measurements (nesting supported). */
+    std::vector<SegFrame> segStack;
+};
+
+/** A live precise-counting session. */
+class PecSession
+{
+  public:
+    /**
+     * @param kernel the OS that will virtualize counters and deliver
+     *               PMIs to this session's overflow handler.
+     */
+    explicit PecSession(os::Kernel &kernel, const PecConfig &config = {});
+    ~PecSession();
+
+    PecSession(const PecSession &) = delete;
+    PecSession &operator=(const PecSession &) = delete;
+
+    const PecConfig &config() const { return config_; }
+    os::Kernel &kernel() { return kernel_; }
+
+    /**
+     * Program hardware counter `ctr` to count `event` (starts
+     * immediately, from zero, on every core and thread).
+     */
+    void addEvent(unsigned ctr, sim::EventType event, bool user = true,
+                  bool kernel_mode = false);
+
+    /** Stop and release counter `ctr`. */
+    void removeEvent(unsigned ctr);
+
+    /** Events currently configured (by counter index). */
+    bool eventActive(unsigned ctr) const { return active_[ctr]; }
+
+    /**
+     * The fast userspace read: full virtualized 64-bit value of
+     * counter `ctr` for the calling thread. Tens of nanoseconds; no
+     * syscall.
+     */
+    sim::Task<std::uint64_t> read(sim::Guest &g, unsigned ctr);
+
+    /**
+     * Destructive-read variant (needs the PMU's destructiveRead
+     * feature, hardware enhancement #2): returns the count since the
+     * previous readDelta/readClear on this thread and resets it.
+     */
+    sim::Task<std::uint64_t> readDelta(sim::Guest &g, unsigned ctr);
+
+    /** Per-thread state, created on first use. */
+    PecThreadState &threadState(sim::GuestContext &ctx);
+
+    /**
+     * Host-side harvest of one thread's full 64-bit value for counter
+     * `ctr`: overflow accumulator plus the live hardware value (when
+     * the thread is on a core) or its saved value (when descheduled
+     * or exited). Zero cost — analysis-time use, not a guest read.
+     */
+    std::uint64_t threadTotal(os::Thread &thread, unsigned ctr);
+
+    /** threadTotal summed over every thread (process-wide count). */
+    std::uint64_t processTotal(unsigned ctr);
+
+    /** @name Instrumentation-of-the-instrumentation @{ */
+    /** Overflow PMIs absorbed into accumulators. */
+    std::uint64_t overflowFixups() const { return fixups_; }
+    /** Reads restarted by the kernel fix-up (KernelFixup policy). */
+    std::uint64_t readRestarts() const { return restarts_; }
+    /** Reads retried by the userspace double-check. */
+    std::uint64_t doubleCheckRetries() const { return retries_; }
+    /** PMIs that arrived with no thread on the core. */
+    std::uint64_t orphanOverflows() const { return orphans_; }
+    /** @} */
+
+  private:
+    void onOverflow(sim::Cpu &cpu, sim::GuestContext *ctx, unsigned ctr,
+                    std::uint32_t wraps);
+
+    os::Kernel &kernel_;
+    PecConfig config_;
+    std::array<bool, sim::maxPmuCounters> active_{};
+    std::vector<std::unique_ptr<PecThreadState>> states_;
+    std::uint64_t fixups_ = 0;
+    std::uint64_t restarts_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t orphans_ = 0;
+};
+
+} // namespace limit::pec
+
+#endif // LIMIT_PEC_SESSION_HH

@@ -1,0 +1,315 @@
+#include "sim/cpu.hh"
+
+#include <cmath>
+
+#include "sim/kernel_if.hh"
+#include "sim/machine.hh"
+#include "sim/memory_if.hh"
+
+namespace limit::sim {
+
+Cpu::Cpu(CoreId id, Machine &machine, const CostModel &costs,
+         unsigned pmu_counters, const PmuFeatures &pmu_features)
+    : id_(id), machine_(machine), costs_(costs),
+      pmu_(pmu_counters, pmu_features)
+{
+}
+
+void
+Cpu::setCurrent(GuestContext *ctx)
+{
+    current_ = ctx;
+    if (ctx)
+        ctx->lastCore = id_;
+}
+
+void
+Cpu::syncTimeAtLeast(Tick t)
+{
+    if (t > now_)
+        now_ = t;
+}
+
+void
+Cpu::step()
+{
+    panic_if(!current_, "Cpu::step on an idle core");
+    GuestContext &ctx = *current_;
+    ctx.hasOp = false;
+    ctx.resumeHandle().resume();
+
+    if (!ctx.hasOp) {
+        panic_if(!ctx.finished(),
+                 "guest thread '", ctx.name(),
+                 "' suspended without issuing an op");
+        machine_.kernel()->threadExited(*this, ctx);
+        drainOverflows();
+        return;
+    }
+    executeOp(ctx);
+}
+
+void
+Cpu::executeOp(GuestContext &ctx)
+{
+    const PendingOp op = ctx.op; // copy: handlers may clobber ctx.op
+
+    switch (op.kind) {
+      case OpKind::Compute:
+        execCompute(ctx, op);
+        break;
+      case OpKind::Load:
+      case OpKind::Store:
+        execMemory(ctx, op);
+        break;
+      case OpKind::AtomicCas:
+      case OpKind::AtomicFetchAdd:
+      case OpKind::AtomicExchange:
+      case OpKind::AtomicLoad:
+      case OpKind::AtomicStore:
+        execAtomic(ctx, op);
+        break;
+      case OpKind::PmcRead:
+      case OpKind::PmcReadClear:
+        execPmcRead(ctx, op);
+        break;
+      case OpKind::Syscall:
+        execSyscall(ctx, op);
+        break;
+      case OpKind::RegionEnter:
+      case OpKind::RegionExit:
+        execRegion(ctx, op);
+        break;
+      default:
+        panic("unknown op kind");
+    }
+
+    drainOverflows();
+    if (current_ && now_ >= quantumEnd) {
+        machine_.kernel()->timerTick(*this);
+        drainOverflows();
+    }
+}
+
+void
+Cpu::execCompute(GuestContext &ctx, const PendingOp &op)
+{
+    const ComputeProfile &p = op.profile;
+    const std::uint64_t instrs = op.instrs;
+
+    // Deterministic fractional-event accounting: carry residues so
+    // that long-run branch counts match instrs * branchFrac exactly.
+    double branches_f =
+        static_cast<double>(instrs) * p.branchFrac + ctx.branchResidue;
+    auto branches = static_cast<std::uint64_t>(branches_f);
+    ctx.branchResidue = branches_f - static_cast<double>(branches);
+
+    double miss_f = static_cast<double>(branches) * p.mispredictRate +
+                    ctx.mispredictResidue;
+    auto misses = static_cast<std::uint64_t>(miss_f);
+    ctx.mispredictResidue = miss_f - static_cast<double>(misses);
+
+    const Tick base =
+        static_cast<Tick>(std::ceil(static_cast<double>(instrs) * p.cpi));
+    const Tick duration = base + misses * costs_.mispredictPenalty;
+
+    EventDeltas d;
+    d[EventType::Cycles] = duration;
+    d[EventType::Instructions] = instrs;
+    d[EventType::Branches] = branches;
+    d[EventType::BranchMisses] = misses;
+    applyEvents(PrivMode::User, d);
+    now_ += duration;
+    ctx.result = 0;
+}
+
+void
+Cpu::execMemory(GuestContext &ctx, const PendingOp &op)
+{
+    const bool write = op.kind == OpKind::Store;
+    MemAccessResult r =
+        machine_.memory()->access(id_, op.addr, write, false);
+
+    EventDeltas d = r.deltas;
+    d[EventType::Cycles] += r.latency;
+    d[EventType::Instructions] += 1;
+    d[write ? EventType::Stores : EventType::Loads] += 1;
+    applyEvents(PrivMode::User, d);
+    now_ += r.latency;
+    ctx.result = 0;
+}
+
+void
+Cpu::execAtomic(GuestContext &ctx, const PendingOp &op)
+{
+    panic_if(op.word == nullptr, "atomic op without host storage");
+    MemAccessResult r = machine_.memory()->access(id_, op.addr,
+                                                  /*write=*/true,
+                                                  /*atomic=*/true);
+    EventDeltas d = r.deltas;
+    d[EventType::Cycles] += r.latency;
+    d[EventType::Instructions] += 1;
+    d[EventType::Loads] += 1;
+
+    std::uint64_t result = 0;
+    switch (op.kind) {
+      case OpKind::AtomicCas: {
+        const std::uint64_t old = *op.word;
+        if (old == op.a) {
+            *op.word = op.b;
+            d[EventType::Stores] += 1;
+        }
+        result = old;
+        break;
+      }
+      case OpKind::AtomicFetchAdd: {
+        const std::uint64_t old = *op.word;
+        *op.word = old + op.a;
+        d[EventType::Stores] += 1;
+        result = old;
+        break;
+      }
+      case OpKind::AtomicExchange: {
+        const std::uint64_t old = *op.word;
+        *op.word = op.a;
+        d[EventType::Stores] += 1;
+        result = old;
+        break;
+      }
+      case OpKind::AtomicLoad:
+        result = *op.word;
+        break;
+      case OpKind::AtomicStore:
+        *op.word = op.a;
+        d[EventType::Stores] += 1;
+        break;
+      default:
+        panic("non-atomic op in execAtomic");
+    }
+
+    applyEvents(PrivMode::User, d);
+    now_ += r.latency;
+    ctx.result = result;
+}
+
+void
+Cpu::execPmcRead(GuestContext &ctx, const PendingOp &op)
+{
+    fatal_if(op.counter >= pmu_.numCounters(),
+             "rdpmc of nonexistent counter ", op.counter);
+
+    // Charge the read cost *before* sampling the counter value: the
+    // value architecturally reflects the moment the rdpmc retires, so
+    // events generated by the read itself (cycles, the instruction)
+    // are visible in it — and so is any overflow they trigger. This
+    // ordering is what makes the accumulate-then-rdpmc race of naive
+    // userspace reads reproducible (see pec/).
+    EventDeltas d;
+    d[EventType::Cycles] = costs_.rdpmcCost;
+    d[EventType::Instructions] = 1;
+    applyEvents(PrivMode::User, d);
+    now_ += costs_.rdpmcCost;
+
+    // Deliver any overflow the read itself produced before the value
+    // is observed, mirroring a PMI that hits during the instruction.
+    drainOverflows();
+
+    ctx.result = op.kind == OpKind::PmcReadClear
+        ? pmu_.readAndClear(op.counter)
+        : pmu_.read(op.counter);
+}
+
+void
+Cpu::execSyscall(GuestContext &ctx, const PendingOp &op)
+{
+    // The syscall instruction itself.
+    EventDeltas d;
+    d[EventType::Cycles] = 2;
+    d[EventType::Instructions] = 1;
+    applyEvents(PrivMode::User, d);
+    now_ += 2;
+
+    // Trap entry + eventual return are charged up front to keep the
+    // accounting attached to the calling thread even when the handler
+    // blocks it and switches away (see DESIGN.md).
+    kernelWork(costs_.trapEntryCost + costs_.trapExitCost);
+
+    SyscallOutcome out =
+        machine_.kernel()->syscall(*this, ctx, op.sysNr, op.sysArgs);
+    if (!out.blocked)
+        ctx.result = out.value;
+}
+
+void
+Cpu::execRegion(GuestContext &ctx, const PendingOp &op)
+{
+    EventDeltas d;
+    d[EventType::Cycles] = 2;
+    d[EventType::Instructions] = 2;
+    applyEvents(PrivMode::User, d);
+    now_ += 2;
+
+    ctx.prevRegion = ctx.currentRegion();
+    ctx.regionChangedAt = now_;
+    if (op.kind == OpKind::RegionEnter) {
+        ctx.regionStack.push_back(op.region);
+    } else {
+        panic_if(ctx.regionStack.empty(),
+                 "regionExit with empty region stack in thread '",
+                 ctx.name(), "'");
+        ctx.regionStack.pop_back();
+    }
+    ctx.result = 0;
+}
+
+void
+Cpu::kernelWork(Tick cycles)
+{
+    if (cycles == 0)
+        return;
+    const double instr_f =
+        static_cast<double>(cycles) * costs_.kernelIpc +
+        kernelInstrResidue_;
+    const auto instrs = static_cast<std::uint64_t>(instr_f);
+    kernelInstrResidue_ = instr_f - static_cast<double>(instrs);
+
+    EventDeltas d;
+    d[EventType::Cycles] = cycles;
+    d[EventType::Instructions] = instrs;
+    applyEvents(PrivMode::Kernel, d);
+    now_ += cycles;
+}
+
+void
+Cpu::applyEvents(PrivMode mode, const EventDeltas &deltas)
+{
+    if (current_)
+        current_->ledger().apply(mode, deltas);
+    OverflowSet ov = pmu_.apply(mode, deltas);
+    if (!ov.any)
+        return;
+    for (unsigned i = 0; i < pmu_.numCounters(); ++i) {
+        if (ov.wraps[i] && pmu_.config(i).interruptOnOverflow)
+            pendingPmis_.push_back({i, ov.wraps[i]});
+    }
+}
+
+void
+Cpu::drainOverflows()
+{
+    if (draining_)
+        return; // the outer drain loop will pick up new PMIs
+    draining_ = true;
+    unsigned guard = 0;
+    while (!pendingPmis_.empty()) {
+        panic_if(++guard > 256,
+                 "PMI storm: overflow handler keeps re-overflowing "
+                 "(counter width too small for the handler cost?)");
+        const PendingPmi pmi = pendingPmis_.front();
+        pendingPmis_.erase(pendingPmis_.begin());
+        machine_.kernel()->pmuOverflow(*this, pmi.counter, pmi.wraps);
+    }
+    draining_ = false;
+}
+
+} // namespace limit::sim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * One simulated core: executes guest ops, owns a PMU, tracks local time.
+ */
+
+#ifndef LIMIT_SIM_CPU_HH
+#define LIMIT_SIM_CPU_HH
+
+#include <vector>
+
+#include "sim/cost_model.hh"
+#include "sim/guest.hh"
+#include "sim/pmu.hh"
+#include "sim/types.hh"
+
+namespace limit::sim {
+
+class Machine;
+class KernelIf;
+class MemoryIf;
+
+/**
+ * A single in-order core.
+ *
+ * The Machine steps whichever non-idle core has the smallest local
+ * time; a step resumes the core's current thread, executes exactly one
+ * primitive op, charges its cost, applies events to the PMU and the
+ * thread's ground-truth ledger, and delivers any interrupts that
+ * became pending (PMU overflow, end-of-quantum timer).
+ */
+class Cpu
+{
+  public:
+    Cpu(CoreId id, Machine &machine, const CostModel &costs,
+        unsigned pmu_counters, const PmuFeatures &pmu_features);
+
+    CoreId id() const { return id_; }
+    Tick now() const { return now_; }
+    Pmu &pmu() { return pmu_; }
+    const Pmu &pmu() const { return pmu_; }
+    const CostModel &costs() const { return costs_; }
+    Machine &machine() { return machine_; }
+
+    /** Thread currently installed on this core (nullptr when idle). */
+    GuestContext *current() { return current_; }
+    bool idle() const { return current_ == nullptr; }
+
+    /**
+     * Install a thread (kernel context-switch path). Does not charge
+     * cycles; the kernel charges switch costs itself.
+     */
+    void setCurrent(GuestContext *ctx);
+
+    /** Fast-forward an idle core's clock to a waker's time. */
+    void syncTimeAtLeast(Tick t);
+
+    /** End of the running thread's time slice (managed by the kernel). */
+    Tick quantumEnd = maxTick;
+
+    /** Resume the current thread and execute one op. */
+    void step();
+
+    /**
+     * Charge `cycles` of kernel-mode work to the current thread (or to
+     * nobody when idle), applying PMU/ledger events and advancing time.
+     */
+    void kernelWork(Tick cycles);
+
+    /**
+     * Apply event deltas in `mode` to the current thread's ledger and
+     * the PMU; queues PMIs for overflowed interrupt-enabled counters.
+     */
+    void applyEvents(PrivMode mode, const EventDeltas &deltas);
+
+    /** Deliver queued PMIs (with a storm guard). */
+    void drainOverflows();
+
+  private:
+    void executeOp(GuestContext &ctx);
+    void execCompute(GuestContext &ctx, const PendingOp &op);
+    void execMemory(GuestContext &ctx, const PendingOp &op);
+    void execAtomic(GuestContext &ctx, const PendingOp &op);
+    void execPmcRead(GuestContext &ctx, const PendingOp &op);
+    void execSyscall(GuestContext &ctx, const PendingOp &op);
+    void execRegion(GuestContext &ctx, const PendingOp &op);
+
+    struct PendingPmi
+    {
+        unsigned counter;
+        std::uint32_t wraps;
+    };
+
+    CoreId id_;
+    Machine &machine_;
+    CostModel costs_;
+    Pmu pmu_;
+    Tick now_ = 0;
+    GuestContext *current_ = nullptr;
+    std::vector<PendingPmi> pendingPmis_;
+    double kernelInstrResidue_ = 0.0;
+    bool draining_ = false;
+};
+
+} // namespace limit::sim
+
+#endif // LIMIT_SIM_CPU_HH

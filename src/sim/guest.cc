@@ -1,0 +1,51 @@
+#include "sim/guest.hh"
+
+#include "sim/machine.hh"
+
+namespace limit::sim {
+
+GuestContext::GuestContext(Machine &machine, ThreadId tid, std::string name,
+                           std::uint64_t seed)
+    : machine_(machine), tid_(tid), name_(std::move(name)), rng_(seed)
+{
+}
+
+GuestContext::~GuestContext() = default;
+
+void
+GuestContext::start(std::function<Task<void>(Guest &)> body)
+{
+    panic_if(started_, "GuestContext::start called twice");
+    // Both the Guest handle and the functor (whose captures the
+    // coroutine frame references) must outlive the coroutine.
+    bodyFn_ = std::move(body);
+    guest_ = std::make_unique<Guest>(*this);
+    body_ = bodyFn_(*guest_);
+    started_ = true;
+}
+
+std::coroutine_handle<>
+GuestContext::resumeHandle()
+{
+    panic_if(!started_, "resuming a thread that was never started");
+    if (resumePoint) {
+        auto h = resumePoint;
+        resumePoint = nullptr;
+        return h;
+    }
+    return body_.handle();
+}
+
+bool
+Guest::shouldStop() const
+{
+    return ctx_->machine().stopRequested(now());
+}
+
+Tick
+Guest::now() const
+{
+    return ctx_->machine().cpu(ctx_->lastCore).now();
+}
+
+} // namespace limit::sim

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * The guest instruction-level interface.
+ *
+ * Guest code (workloads, the synchronization library, counter access
+ * libraries) is written as Task coroutines that issue primitive ops
+ * through a Guest handle. Each `co_await g.op(...)` suspends the guest
+ * until the simulating Cpu has charged the op's cost, applied its
+ * architectural events, and produced its result value.
+ */
+
+#ifndef LIMIT_SIM_GUEST_HH
+#define LIMIT_SIM_GUEST_HH
+
+#include <array>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "sim/cost_model.hh"
+#include "sim/ledger.hh"
+#include "sim/task.hh"
+#include "sim/types.hh"
+
+namespace limit::sim {
+
+class Machine;
+class Guest;
+
+/** Primitive operations the Cpu knows how to execute. */
+enum class OpKind : std::uint8_t {
+    Compute,        ///< `instrs` ALU/branch instructions
+    Load,           ///< one load from `addr`
+    Store,          ///< one store to `addr`
+    AtomicCas,      ///< compare-and-swap on `word`; returns old value
+    AtomicFetchAdd, ///< fetch-and-add on `word`; returns old value
+    AtomicExchange, ///< swap `a` into `word`; returns old value
+    AtomicLoad,     ///< acquire load of `word`; returns value
+    AtomicStore,    ///< release store of `a` to `word`
+    PmcRead,        ///< rdpmc of counter `counter`; returns hw value
+    PmcReadClear,   ///< destructive rdpmc (hardware enhancement #2)
+    Syscall,        ///< trap to the kernel, `sysNr`/`sysArgs`
+    RegionEnter,    ///< push attribution region `region`
+    RegionExit,     ///< pop attribution region
+};
+
+/** One suspended guest operation awaiting execution. */
+struct PendingOp
+{
+    OpKind kind = OpKind::Compute;
+    std::uint64_t instrs = 0;       ///< Compute instruction count
+    ComputeProfile profile{};       ///< Compute branch behaviour
+    Addr addr = 0;                  ///< memory operand address
+    std::uint64_t *word = nullptr;  ///< host storage for atomics
+    std::uint64_t a = 0;            ///< operand (expected / delta / value)
+    std::uint64_t b = 0;            ///< operand (desired)
+    unsigned counter = 0;           ///< PMC index
+    std::uint32_t sysNr = 0;        ///< syscall number
+    std::array<std::uint64_t, 4> sysArgs{};
+    RegionId region = noRegion;     ///< RegionEnter operand
+};
+
+/**
+ * Everything the simulator knows about one guest thread.
+ *
+ * Owned by the OS layer, manipulated by the Cpu during execution.
+ * Opaque `osThread`/`pecThread` slots let the kernel and the PEC
+ * library hang their per-thread state off the context without
+ * layering violations.
+ */
+class GuestContext
+{
+  public:
+    GuestContext(Machine &machine, ThreadId tid, std::string name,
+                 std::uint64_t seed);
+
+    GuestContext(const GuestContext &) = delete;
+    GuestContext &operator=(const GuestContext &) = delete;
+    ~GuestContext(); // out of line: Guest is incomplete here
+
+    /** Instantiate the coroutine body; it starts suspended. */
+    void start(std::function<Task<void>(Guest &)> body);
+
+    /** True when the body ran to completion. */
+    bool finished() const { return started_ && body_.done(); }
+
+    Machine &machine() { return machine_; }
+    /** The Guest handle bound to this context (valid after start()). */
+    Guest &guest() { return *guest_; }
+    ThreadId tid() const { return tid_; }
+    const std::string &name() const { return name_; }
+    Rng &rng() { return rng_; }
+    EventLedger &ledger() { return ledger_; }
+    const EventLedger &ledger() const { return ledger_; }
+
+    /** Attribution region currently on top of the stack. */
+    RegionId
+    currentRegion() const
+    {
+        return regionStack.empty() ? noRegion : regionStack.back();
+    }
+
+    /** @name Cpu-facing execution state @{ */
+    std::coroutine_handle<> resumeHandle();
+    bool hasOp = false;
+    PendingOp op{};
+    std::uint64_t result = 0;
+    std::coroutine_handle<> resumePoint = nullptr;
+    std::vector<RegionId> regionStack;
+    /** Region before the most recent region-stack change (for skid). */
+    RegionId prevRegion = noRegion;
+    /** Core-local time of the most recent region-stack change. */
+    Tick regionChangedAt = 0;
+    ComputeProfile defaultProfile{};
+    double branchResidue = 0.0;
+    double mispredictResidue = 0.0;
+    CoreId lastCore = 0;
+    /** @} */
+
+    /** @name PMC-read race bookkeeping (see pec/) @{ */
+    bool inPmcRead = false;
+    bool pmcRestartRequested = false;
+    /** @} */
+
+    /** @name Opaque per-subsystem extensions @{ */
+    void *osThread = nullptr;
+    void *pecThread = nullptr;
+    /** @} */
+
+  private:
+    friend class Guest;
+
+    Machine &machine_;
+    ThreadId tid_;
+    std::string name_;
+    Rng rng_;
+    EventLedger ledger_;
+    std::unique_ptr<Guest> guest_;
+    /**
+     * The body functor is kept alive for the thread's lifetime because
+     * a coroutine lambda's captures live in the lambda object, not the
+     * coroutine frame. Declared before body_ so the frame (which may
+     * reference the captures) is destroyed first.
+     */
+    std::function<Task<void>(Guest &)> bodyFn_;
+    Task<void> body_;
+    bool started_ = false;
+};
+
+/** Awaiter for a primitive guest op. */
+class [[nodiscard]] OpAwaiter
+{
+  public:
+    OpAwaiter(GuestContext &ctx, PendingOp op) : ctx_(&ctx), op_(op) {}
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) noexcept
+    {
+        ctx_->op = op_;
+        ctx_->hasOp = true;
+        ctx_->resumePoint = h;
+    }
+
+    std::uint64_t await_resume() const noexcept { return ctx_->result; }
+
+  private:
+    GuestContext *ctx_;
+    PendingOp op_;
+};
+
+/**
+ * Handle through which guest coroutines issue operations.
+ *
+ * One Guest exists per thread; it is passed by reference into the
+ * thread body and any guest library routines.
+ */
+class Guest
+{
+  public:
+    explicit Guest(GuestContext &ctx) : ctx_(&ctx) {}
+
+    /** Execute `instrs` ALU/branch instructions (thread default profile). */
+    OpAwaiter
+    compute(std::uint64_t instrs)
+    {
+        PendingOp op;
+        op.kind = OpKind::Compute;
+        op.instrs = instrs;
+        op.profile = ctx_->defaultProfile;
+        return {*ctx_, op};
+    }
+
+    /** Execute `instrs` instructions with an explicit branch profile. */
+    OpAwaiter
+    compute(std::uint64_t instrs, const ComputeProfile &profile)
+    {
+        PendingOp op;
+        op.kind = OpKind::Compute;
+        op.instrs = instrs;
+        op.profile = profile;
+        return {*ctx_, op};
+    }
+
+    /** One load from the simulated address `addr`. */
+    OpAwaiter
+    load(Addr addr)
+    {
+        PendingOp op;
+        op.kind = OpKind::Load;
+        op.addr = addr;
+        return {*ctx_, op};
+    }
+
+    /** One store to the simulated address `addr`. */
+    OpAwaiter
+    store(Addr addr)
+    {
+        PendingOp op;
+        op.kind = OpKind::Store;
+        op.addr = addr;
+        return {*ctx_, op};
+    }
+
+    /**
+     * Compare-and-swap: atomically replace *word with `desired` when it
+     * equals `expected`. Returns the previous value. `addr` drives the
+     * coherence/cache model.
+     */
+    OpAwaiter
+    atomicCas(std::uint64_t *word, Addr addr, std::uint64_t expected,
+              std::uint64_t desired)
+    {
+        PendingOp op;
+        op.kind = OpKind::AtomicCas;
+        op.word = word;
+        op.addr = addr;
+        op.a = expected;
+        op.b = desired;
+        return {*ctx_, op};
+    }
+
+    /** Fetch-and-add `delta`; returns the previous value. */
+    OpAwaiter
+    atomicFetchAdd(std::uint64_t *word, Addr addr, std::uint64_t delta)
+    {
+        PendingOp op;
+        op.kind = OpKind::AtomicFetchAdd;
+        op.word = word;
+        op.addr = addr;
+        op.a = delta;
+        return {*ctx_, op};
+    }
+
+    /** Atomic swap of `value` into *word; returns the previous value. */
+    OpAwaiter
+    atomicExchange(std::uint64_t *word, Addr addr, std::uint64_t value)
+    {
+        PendingOp op;
+        op.kind = OpKind::AtomicExchange;
+        op.word = word;
+        op.addr = addr;
+        op.a = value;
+        return {*ctx_, op};
+    }
+
+    /** Acquire load; returns the value. */
+    OpAwaiter
+    atomicLoad(std::uint64_t *word, Addr addr)
+    {
+        PendingOp op;
+        op.kind = OpKind::AtomicLoad;
+        op.word = word;
+        op.addr = addr;
+        return {*ctx_, op};
+    }
+
+    /** Release store of `value`. */
+    OpAwaiter
+    atomicStore(std::uint64_t *word, Addr addr, std::uint64_t value)
+    {
+        PendingOp op;
+        op.kind = OpKind::AtomicStore;
+        op.word = word;
+        op.addr = addr;
+        op.a = value;
+        return {*ctx_, op};
+    }
+
+    /** rdpmc-style userspace read of hardware counter `idx`. */
+    OpAwaiter
+    pmcRead(unsigned idx)
+    {
+        PendingOp op;
+        op.kind = OpKind::PmcRead;
+        op.counter = idx;
+        return {*ctx_, op};
+    }
+
+    /** Destructive read-and-clear of counter `idx` (enhancement #2). */
+    OpAwaiter
+    pmcReadClear(unsigned idx)
+    {
+        PendingOp op;
+        op.kind = OpKind::PmcReadClear;
+        op.counter = idx;
+        return {*ctx_, op};
+    }
+
+    /** Trap into the kernel. */
+    OpAwaiter
+    syscall(std::uint32_t nr, std::array<std::uint64_t, 4> args = {})
+    {
+        PendingOp op;
+        op.kind = OpKind::Syscall;
+        op.sysNr = nr;
+        op.sysArgs = args;
+        return {*ctx_, op};
+    }
+
+    /** Push attribution region `region` (see Machine::regions()). */
+    OpAwaiter
+    regionEnter(RegionId region)
+    {
+        PendingOp op;
+        op.kind = OpKind::RegionEnter;
+        op.region = region;
+        return {*ctx_, op};
+    }
+
+    /** Pop the current attribution region. */
+    OpAwaiter
+    regionExit()
+    {
+        PendingOp op;
+        op.kind = OpKind::RegionExit;
+        return {*ctx_, op};
+    }
+
+    /** @name Host-side (zero-cost) helpers @{ */
+    ThreadId tid() const { return ctx_->tid(); }
+    const std::string &name() const { return ctx_->name(); }
+    Rng &rng() { return ctx_->rng(); }
+    GuestContext &context() { return *ctx_; }
+    Machine &machine() { return ctx_->machine(); }
+    /** True once the machine's requested stop tick has passed. */
+    bool shouldStop() const;
+    /** Current simulated time on the core this thread last ran on. */
+    Tick now() const;
+    /** @} */
+
+  private:
+    GuestContext *ctx_;
+};
+
+} // namespace limit::sim
+
+#endif // LIMIT_SIM_GUEST_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Interface the simulated CPU uses to call into the OS layer.
+ *
+ * Keeps `sim/` independent of `os/`: the kernel implements this
+ * interface and registers itself with the Machine.
+ */
+
+#ifndef LIMIT_SIM_KERNEL_IF_HH
+#define LIMIT_SIM_KERNEL_IF_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace limit::sim {
+
+class Cpu;
+class GuestContext;
+
+/** Result of dispatching a syscall. */
+struct SyscallOutcome
+{
+    std::uint64_t value = 0;
+    /**
+     * When true the calling thread was blocked (and the kernel already
+     * switched the core to another thread); its result will be set at
+     * wake time instead.
+     */
+    bool blocked = false;
+};
+
+/** OS entry points invoked by the Cpu at op boundaries. */
+class KernelIf
+{
+  public:
+    virtual ~KernelIf() = default;
+
+    /** Dispatch a trap from `ctx` running on `cpu`. */
+    virtual SyscallOutcome syscall(Cpu &cpu, GuestContext &ctx,
+                                   std::uint32_t nr,
+                                   const std::array<std::uint64_t, 4> &args)
+        = 0;
+
+    /** The running thread's time slice expired. */
+    virtual void timerTick(Cpu &cpu) = 0;
+
+    /**
+     * Counter `counter` on `cpu` wrapped `wraps` times with its PMI
+     * enable set.
+     */
+    virtual void pmuOverflow(Cpu &cpu, unsigned counter,
+                             std::uint32_t wraps) = 0;
+
+    /** The running thread's body coroutine completed. */
+    virtual void threadExited(Cpu &cpu, GuestContext &ctx) = 0;
+
+    /**
+     * Called by the machine loop before each step to let the kernel
+     * wake timed sleepers. `now` is the earliest busy-core time, or
+     * maxTick when every core is idle (in which case the kernel should
+     * wake the earliest sleeper unconditionally, fast-forwarding an
+     * idle core's clock).
+     */
+    virtual void poll(Tick now) = 0;
+
+    /** True when no live (runnable or blocked) threads remain. */
+    virtual bool allThreadsDone() const = 0;
+
+    /** Diagnostic description of blocked threads (deadlock reports). */
+    virtual std::string blockedReport() const { return {}; }
+};
+
+} // namespace limit::sim
+
+#endif // LIMIT_SIM_KERNEL_IF_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ground-truth event accounting.
+ *
+ * The ledger records every architectural event a thread generates,
+ * split by privilege mode, with full 64-bit precision and no access
+ * cost. It is the oracle against which every counter access method
+ * (PEC fast reads, perf-style syscalls, sampling) is validated.
+ */
+
+#ifndef LIMIT_SIM_LEDGER_HH
+#define LIMIT_SIM_LEDGER_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace limit::sim {
+
+/** Exact per-thread event totals, split user/kernel. */
+class EventLedger
+{
+  public:
+    /** Apply one op's deltas in the given mode. */
+    void
+    apply(PrivMode mode, const EventDeltas &d)
+    {
+        perMode_[static_cast<unsigned>(mode)] += d;
+    }
+
+    /** Exact count of event e in mode m. */
+    std::uint64_t
+    count(EventType e, PrivMode m) const
+    {
+        return perMode_[static_cast<unsigned>(m)][e];
+    }
+
+    /** Exact count of event e summed over both modes. */
+    std::uint64_t
+    total(EventType e) const
+    {
+        return count(e, PrivMode::User) + count(e, PrivMode::Kernel);
+    }
+
+    /** Count of event e filtered the way a PMU counter config would. */
+    std::uint64_t
+    filtered(EventType e, bool user, bool kernel) const
+    {
+        std::uint64_t v = 0;
+        if (user)
+            v += count(e, PrivMode::User);
+        if (kernel)
+            v += count(e, PrivMode::Kernel);
+        return v;
+    }
+
+    void
+    clear()
+    {
+        perMode_[0] = EventDeltas{};
+        perMode_[1] = EventDeltas{};
+    }
+
+  private:
+    EventDeltas perMode_[2];
+};
+
+} // namespace limit::sim
+
+#endif // LIMIT_SIM_LEDGER_HH

@@ -1,0 +1,87 @@
+#include "sim/machine.hh"
+
+#include "base/logging.hh"
+#include "sim/kernel_if.hh"
+
+namespace limit::sim {
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config), memory_(&flatMemory_)
+{
+    fatal_if(config.numCores == 0, "machine needs at least one core");
+    cpus_.reserve(config.numCores);
+    for (CoreId i = 0; i < config.numCores; ++i) {
+        cpus_.push_back(std::make_unique<Cpu>(
+            i, *this, config.costs, config.pmuCounters,
+            config.pmuFeatures));
+    }
+}
+
+Machine::~Machine() = default;
+
+Cpu &
+Machine::cpu(CoreId id)
+{
+    panic_if(id >= cpus_.size(), "bad core id ", id);
+    return *cpus_[id];
+}
+
+KernelIf *
+Machine::kernel()
+{
+    panic_if(!kernel_, "no kernel installed on the machine");
+    return kernel_;
+}
+
+void
+Machine::setMemory(MemoryIf *memory)
+{
+    memory_ = memory ? memory : &flatMemory_;
+}
+
+Tick
+Machine::run()
+{
+    panic_if(!kernel_, "Machine::run without a kernel");
+    for (;;) {
+        auto earliest_busy = [&]() -> Cpu * {
+            Cpu *best = nullptr;
+            for (auto &cpu : cpus_) {
+                if (cpu->idle())
+                    continue;
+                if (!best || cpu->now() < best->now())
+                    best = cpu.get();
+            }
+            return best;
+        };
+
+        Cpu *best = earliest_busy();
+        // Let timed sleepers whose deadline has passed (relative to
+        // global time = the earliest busy core) wake onto idle cores.
+        kernel_->poll(best ? best->now() : maxTick);
+        best = earliest_busy();
+        if (!best) {
+            if (!kernel_->allThreadsDone()) {
+                panic("deadlock: live threads but no runnable core\n",
+                      kernel_->blockedReport());
+            }
+            break;
+        }
+        panic_if(best->now() > config_.hardLimit,
+                 "runaway simulation: core ", best->id(),
+                 " passed the hard limit at tick ", best->now());
+        best->step();
+    }
+    return maxTime();
+}
+
+Tick
+Machine::maxTime() const
+{
+    Tick t = 0;
+    for (const auto &cpu : cpus_)
+        t = std::max(t, cpu->now());
+    return t;
+}
+
+} // namespace limit::sim

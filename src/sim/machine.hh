@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The whole simulated machine: cores + memory + kernel binding.
+ */
+
+#ifndef LIMIT_SIM_MACHINE_HH
+#define LIMIT_SIM_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/cost_model.hh"
+#include "sim/cpu.hh"
+#include "sim/memory_if.hh"
+#include "sim/pmu.hh"
+#include "sim/region_table.hh"
+#include "sim/types.hh"
+
+namespace limit::sim {
+
+class KernelIf;
+
+/** Whole-machine construction parameters. */
+struct MachineConfig
+{
+    unsigned numCores = 4;
+    unsigned pmuCounters = 4;
+    PmuFeatures pmuFeatures{};
+    CostModel costs{};
+    std::uint64_t seed = 1;
+    /**
+     * Hard wall: a core whose local clock passes this tick indicates a
+     * runaway simulation (guests ignoring the stop request).
+     */
+    Tick hardLimit = maxTick;
+};
+
+/**
+ * Deterministic multi-core machine.
+ *
+ * The run loop repeatedly steps the non-idle core with the smallest
+ * local clock, which serializes op commits in global time order and
+ * makes whole runs reproducible bit for bit.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const MachineConfig &config() const { return config_; }
+    unsigned numCores() const { return static_cast<unsigned>(cpus_.size()); }
+    Cpu &cpu(CoreId id);
+    RegionTable &regions() { return regions_; }
+
+    /** Install the OS; required before run(). */
+    void setKernel(KernelIf *kernel) { kernel_ = kernel; }
+    KernelIf *kernel();
+
+    /** Replace the memory model (defaults to FlatMemory). */
+    void setMemory(MemoryIf *memory);
+    MemoryIf *memory() { return memory_; }
+
+    /**
+     * Ask guests to wind down once any core reaches `t`
+     * (Guest::shouldStop turns true); does not forcibly stop them.
+     */
+    void requestStopAt(Tick t) { stopAt_ = t; }
+    bool
+    stopRequested(Tick now) const
+    {
+        return stopAt_ != 0 && now >= stopAt_;
+    }
+
+    /**
+     * Run until every thread has exited. Panics on deadlock (live
+     * threads but nothing runnable) or when a core passes the
+     * configured hard limit.
+     * @return the largest core-local time reached.
+     */
+    Tick run();
+
+    /** Largest core-local clock. */
+    Tick maxTime() const;
+
+  private:
+    MachineConfig config_;
+    std::vector<std::unique_ptr<Cpu>> cpus_;
+    FlatMemory flatMemory_;
+    MemoryIf *memory_ = nullptr;
+    KernelIf *kernel_ = nullptr;
+    RegionTable regions_;
+    Tick stopAt_ = 0;
+};
+
+} // namespace limit::sim
+
+#endif // LIMIT_SIM_MACHINE_HH

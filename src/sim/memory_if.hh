@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Interface the CPU uses for data-memory access timing and events.
+ */
+
+#ifndef LIMIT_SIM_MEMORY_IF_HH
+#define LIMIT_SIM_MEMORY_IF_HH
+
+#include "sim/types.hh"
+
+namespace limit::sim {
+
+/** Timing/event outcome of one memory access. */
+struct MemAccessResult
+{
+    Tick latency = 4;
+    EventDeltas deltas{};
+};
+
+/** Pluggable data-memory model (see mem/CacheHierarchy). */
+class MemoryIf
+{
+  public:
+    virtual ~MemoryIf() = default;
+
+    /**
+     * Access one word.
+     * @param core   issuing core (selects private caches)
+     * @param addr   virtual address
+     * @param write  store vs. load
+     * @param atomic locked RMW access (coherence cost may differ)
+     */
+    virtual MemAccessResult access(CoreId core, Addr addr, bool write,
+                                   bool atomic) = 0;
+};
+
+/** Trivial fixed-latency memory used when no hierarchy is attached. */
+class FlatMemory : public MemoryIf
+{
+  public:
+    explicit FlatMemory(Tick latency = 4) : latency_(latency) {}
+
+    MemAccessResult
+    access(CoreId, Addr, bool, bool atomic) override
+    {
+        MemAccessResult r;
+        r.latency = latency_ + (atomic ? atomicExtra_ : 0);
+        return r;
+    }
+
+  private:
+    Tick latency_;
+    Tick atomicExtra_ = 12;
+};
+
+} // namespace limit::sim
+
+#endif // LIMIT_SIM_MEMORY_IF_HH

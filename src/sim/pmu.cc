@@ -1,0 +1,106 @@
+#include "sim/pmu.hh"
+
+#include "base/logging.hh"
+
+namespace limit::sim {
+
+Pmu::Pmu(unsigned num_counters, const PmuFeatures &features)
+    : numCounters_(num_counters), features_(features)
+{
+    fatal_if(num_counters == 0 || num_counters > maxPmuCounters,
+             "PMU supports 1..", maxPmuCounters, " counters, got ",
+             num_counters);
+    fatal_if(features.counterWidth < 8 || features.counterWidth > 64,
+             "PMU counter width must be in [8, 64], got ",
+             features.counterWidth);
+}
+
+void
+Pmu::configure(unsigned idx, const CounterConfig &cfg)
+{
+    panic_if(idx >= numCounters_, "PMU counter index ", idx,
+             " out of range");
+    configs_[idx] = cfg;
+    values_[idx] = 0;
+}
+
+const CounterConfig &
+Pmu::config(unsigned idx) const
+{
+    panic_if(idx >= numCounters_, "PMU counter index ", idx,
+             " out of range");
+    return configs_[idx];
+}
+
+void
+Pmu::write(unsigned idx, std::uint64_t value)
+{
+    panic_if(idx >= numCounters_, "PMU counter index ", idx,
+             " out of range");
+    values_[idx] = value & valueMask();
+}
+
+std::uint64_t
+Pmu::read(unsigned idx) const
+{
+    panic_if(idx >= numCounters_, "PMU counter index ", idx,
+             " out of range");
+    return values_[idx];
+}
+
+std::uint64_t
+Pmu::readAndClear(unsigned idx)
+{
+    panic_if(idx >= numCounters_, "PMU counter index ", idx,
+             " out of range");
+    panic_if(!features_.destructiveRead,
+             "readAndClear without the destructiveRead feature");
+    const std::uint64_t v = values_[idx];
+    values_[idx] = 0;
+    return v;
+}
+
+void
+Pmu::setEnabled(unsigned idx, bool enabled)
+{
+    panic_if(idx >= numCounters_, "PMU counter index ", idx,
+             " out of range");
+    configs_[idx].enabled = enabled;
+}
+
+OverflowSet
+Pmu::apply(PrivMode mode, const EventDeltas &deltas)
+{
+    OverflowSet out;
+    const bool kernel = mode == PrivMode::Kernel;
+    for (unsigned i = 0; i < numCounters_; ++i) {
+        const CounterConfig &cfg = configs_[i];
+        if (!cfg.enabled)
+            continue;
+        if (kernel ? !cfg.countKernel : !cfg.countUser)
+            continue;
+        const std::uint64_t delta = deltas[cfg.event];
+        if (delta == 0)
+            continue;
+
+        if (features_.counterWidth >= 64) {
+            // 64-bit counters: wraps are possible in principle but
+            // unreachable in any feasible simulation; plain add.
+            values_[i] += delta;
+            continue;
+        }
+
+        const unsigned __int128 sum =
+            static_cast<unsigned __int128>(values_[i]) + delta;
+        const std::uint64_t modulus = wrapModulus();
+        const auto wraps = static_cast<std::uint32_t>(sum / modulus);
+        values_[i] = static_cast<std::uint64_t>(sum % modulus);
+        if (wraps > 0) {
+            out.wraps[i] = wraps;
+            out.any = true;
+        }
+    }
+    return out;
+}
+
+} // namespace limit::sim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Per-core performance monitoring unit model.
+ *
+ * Counters are `counterWidth`-bit saturating-free (wrapping) registers
+ * programmed with an event selector and user/kernel mode filters, in
+ * the style of x86 architectural performance counters. Overflow raises
+ * a PMI (delivered by the Cpu at the next op boundary) when the
+ * counter's interrupt enable is set.
+ *
+ * The paper's three proposed hardware enhancements appear as
+ * PmuFeatures: 64-bit userspace-visible counters (no overflow
+ * machinery needed), destructive reads (read-and-clear in one
+ * instruction), and tag-based virtualization (hardware swaps counter
+ * state on context switch, eliminating the kernel's MSR save/restore).
+ */
+
+#ifndef LIMIT_SIM_PMU_HH
+#define LIMIT_SIM_PMU_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace limit::sim {
+
+/** Upper bound on programmable counters per core. */
+inline constexpr unsigned maxPmuCounters = 8;
+
+/** Programming of one hardware counter. */
+struct CounterConfig
+{
+    EventType event = EventType::Cycles;
+    bool countUser = true;
+    bool countKernel = false;
+    bool enabled = false;
+    /** Raise a PMI when the counter wraps. */
+    bool interruptOnOverflow = false;
+};
+
+/** Optional hardware capabilities (the paper's enhancement proposals). */
+struct PmuFeatures
+{
+    /** Counter width in bits; 64 is enhancement #1. */
+    unsigned counterWidth = 48;
+    /** Enhancement #2: a single-instruction read-and-clear. */
+    bool destructiveRead = false;
+    /**
+     * Enhancement #3: hardware tags counter state with the thread
+     * context so the kernel pays no MSR save/restore on switches.
+     */
+    bool taggedVirtualization = false;
+};
+
+/** Per-counter wrap counts produced by applying one batch of events. */
+struct OverflowSet
+{
+    std::array<std::uint32_t, maxPmuCounters> wraps{};
+    bool any = false;
+};
+
+/** One core's PMU. */
+class Pmu
+{
+  public:
+    Pmu(unsigned num_counters, const PmuFeatures &features);
+
+    unsigned numCounters() const { return numCounters_; }
+    const PmuFeatures &features() const { return features_; }
+
+    /** Program counter `idx`; resets its value to zero. */
+    void configure(unsigned idx, const CounterConfig &cfg);
+
+    /** Current programming of counter `idx`. */
+    const CounterConfig &config(unsigned idx) const;
+
+    /** Kernel-mode write (WRMSR-style); value is masked to the width. */
+    void write(unsigned idx, std::uint64_t value);
+
+    /** Userspace read (RDPMC-style). */
+    std::uint64_t read(unsigned idx) const;
+
+    /**
+     * Destructive read: returns the value and clears the counter.
+     * Only legal when features().destructiveRead is set.
+     */
+    std::uint64_t readAndClear(unsigned idx);
+
+    /** Enable/disable counting on counter `idx` without reprogramming. */
+    void setEnabled(unsigned idx, bool enabled);
+
+    /**
+     * Apply one op's event deltas in the given privilege mode,
+     * honouring each counter's filters. Returns how many times each
+     * counter wrapped (possibly more than once for tiny widths).
+     */
+    OverflowSet apply(PrivMode mode, const EventDeltas &deltas);
+
+    /** Value mask for the configured width. */
+    std::uint64_t
+    valueMask() const
+    {
+        return features_.counterWidth >= 64
+            ? ~0ull
+            : (1ull << features_.counterWidth) - 1;
+    }
+
+    /** 2^width as a 128-bit-safe modulus helper (0 means 2^64). */
+    std::uint64_t
+    wrapModulus() const
+    {
+        return features_.counterWidth >= 64
+            ? 0
+            : 1ull << features_.counterWidth;
+    }
+
+  private:
+    unsigned numCounters_;
+    PmuFeatures features_;
+    std::array<CounterConfig, maxPmuCounters> configs_{};
+    std::array<std::uint64_t, maxPmuCounters> values_{};
+};
+
+} // namespace limit::sim
+
+#endif // LIMIT_SIM_PMU_HH

@@ -1,0 +1,37 @@
+#include "sim/region_table.hh"
+
+#include "base/logging.hh"
+
+namespace limit::sim {
+
+RegionId
+RegionTable::intern(std::string_view name)
+{
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end())
+        return it->second;
+    const auto id = static_cast<RegionId>(names_.size());
+    panic_if(id == noRegion, "region table overflow");
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+}
+
+RegionId
+RegionTable::find(std::string_view name) const
+{
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? noRegion : it->second;
+}
+
+const std::string &
+RegionTable::name(RegionId id) const
+{
+    static const std::string none = "<none>";
+    if (id == noRegion)
+        return none;
+    panic_if(id >= names_.size(), "bad region id ", id);
+    return names_[id];
+}
+
+} // namespace limit::sim

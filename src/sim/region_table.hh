@@ -1,0 +1,45 @@
+/**
+ * @file
+ * String-interning table for attribution regions.
+ *
+ * Regions name the code segments that profiling attributes costs to
+ * (e.g. "lock-acquire", "btree-search", "handler:paint"). Both
+ * precise counting and the sampling profiler attribute to RegionIds.
+ */
+
+#ifndef LIMIT_SIM_REGION_TABLE_HH
+#define LIMIT_SIM_REGION_TABLE_HH
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace limit::sim {
+
+/** Bidirectional name <-> RegionId map. */
+class RegionTable
+{
+  public:
+    /** Intern `name`, returning a stable id. */
+    RegionId intern(std::string_view name);
+
+    /** Look up an existing region; returns noRegion when absent. */
+    RegionId find(std::string_view name) const;
+
+    /** Name for an id ("<none>" for noRegion). */
+    const std::string &name(RegionId id) const;
+
+    /** Number of interned regions. */
+    std::size_t size() const { return names_.size(); }
+
+  private:
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, RegionId> ids_;
+};
+
+} // namespace limit::sim
+
+#endif // LIMIT_SIM_REGION_TABLE_HH

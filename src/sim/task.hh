@@ -1,0 +1,215 @@
+/**
+ * @file
+ * C++20 coroutine task type for guest code.
+ *
+ * Guest thread bodies and guest library routines (synchronization,
+ * counter reads, workload logic) are written as `Task` coroutines that
+ * `co_await` primitive Guest operations and other Tasks. Suspension at
+ * a primitive op returns control to the simulating Cpu, which charges
+ * the op's cost and later resumes the leaf coroutine; nested Task
+ * completion transfers control to the awaiting parent symmetrically,
+ * so arbitrarily deep guest call stacks cost no host recursion.
+ *
+ * KNOWN TOOLCHAIN ISSUE: GCC 12 miscompiles `co_await` expressions
+ * that appear directly inside controlling conditions — e.g.
+ * `if (co_await g.load(a) == 0)` or `while (co_await f(g))` — the
+ * coroutine frame is corrupted and the guest either traps or resumes
+ * without its pending op. Project-wide rule: ALWAYS bind an awaited
+ * value to a named local first, then test the local.
+ */
+
+#ifndef LIMIT_SIM_TASK_HH
+#define LIMIT_SIM_TASK_HH
+
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace limit::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/** Shared promise state: who to resume when this coroutine finishes. */
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) const noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+
+    void
+    unhandled_exception()
+    {
+        panic("unhandled exception escaped a guest task");
+    }
+};
+
+template <typename T>
+struct TaskPromise : PromiseBase
+{
+    std::optional<T> value;
+
+    Task<T> get_return_object();
+
+    void
+    return_value(T v)
+    {
+        value.emplace(std::move(v));
+    }
+};
+
+template <>
+struct TaskPromise<void> : PromiseBase
+{
+    Task<void> get_return_object();
+    void return_void() {}
+};
+
+} // namespace detail
+
+/**
+ * Owning handle for a lazily started guest coroutine.
+ *
+ * Awaiting a Task starts it (symmetric transfer) and resumes the
+ * awaiter when it completes; the Task object must outlive the
+ * co_await expression, which holds when awaiting a temporary.
+ */
+template <typename T = void>
+class [[nodiscard]] Task
+{
+  public:
+    using promise_type = detail::TaskPromise<T>;
+    using handle_type = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(handle_type h) : handle_(h) {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    /** True when the coroutine ran to completion. */
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /** Valid (non-moved-from) check. */
+    explicit operator bool() const { return static_cast<bool>(handle_); }
+
+    /** Raw handle; used by the Cpu to resume a top-level thread body. */
+    handle_type handle() const { return handle_; }
+
+    /**
+     * Extract the result after completion (top-level use; awaiting
+     * parents get the value through await_resume instead).
+     */
+    T
+    result() const requires (!std::is_void_v<T>)
+    {
+        panic_if(!done(), "Task::result before completion");
+        panic_if(!handle_.promise().value, "Task finished without a value");
+        return *handle_.promise().value;
+    }
+
+    /** Awaiter used when a parent coroutine co_awaits this task. */
+    auto
+    operator co_await() const noexcept
+    {
+        struct Awaiter
+        {
+            handle_type h;
+
+            bool
+            await_ready() const noexcept
+            {
+                return !h || h.done();
+            }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> parent) const noexcept
+            {
+                h.promise().continuation = parent;
+                return h; // start the child now
+            }
+
+            T
+            await_resume() const
+            {
+                if constexpr (!std::is_void_v<T>) {
+                    panic_if(!h.promise().value,
+                             "awaited Task finished without a value");
+                    return std::move(*h.promise().value);
+                }
+            }
+        };
+        return Awaiter{handle_};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    handle_type handle_ = nullptr;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T>
+TaskPromise<T>::get_return_object()
+{
+    return Task<T>(
+        std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void>
+TaskPromise<void>::get_return_object()
+{
+    return Task<void>(
+        std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+} // namespace detail
+
+} // namespace limit::sim
+
+#endif // LIMIT_SIM_TASK_HH

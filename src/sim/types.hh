@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every layer.
+ */
+
+#ifndef LIMIT_SIM_TYPES_HH
+#define LIMIT_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace limit::sim {
+
+/** Simulated time, in core clock cycles at the nominal frequency. */
+using Tick = std::uint64_t;
+
+/** Sentinel "never" tick. */
+inline constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Simulated virtual address. */
+using Addr = std::uint64_t;
+
+/** Simulated thread identifier (dense, assigned at spawn). */
+using ThreadId = std::uint32_t;
+
+/** Sentinel for "no thread". */
+inline constexpr ThreadId invalidThread =
+    std::numeric_limits<ThreadId>::max();
+
+/** Core identifier. */
+using CoreId = std::uint32_t;
+
+/** Interned code-region identifier used for profile attribution. */
+using RegionId = std::uint32_t;
+
+/** Sentinel region meaning "not inside any declared region". */
+inline constexpr RegionId noRegion = std::numeric_limits<RegionId>::max();
+
+/** Nominal core frequency used to convert cycles to wall time. */
+inline constexpr double nominalGHz = 3.0;
+
+/** Convert a cycle count to nanoseconds at the nominal frequency. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / nominalGHz;
+}
+
+/** Convert nanoseconds to cycles at the nominal frequency. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * nominalGHz);
+}
+
+/** Privilege mode an op executes in; PMU filters count per mode. */
+enum class PrivMode : std::uint8_t { User = 0, Kernel = 1 };
+
+/**
+ * Architectural events the PMU can be programmed to count. The
+ * simulator additionally maintains an exact per-thread ledger of all
+ * of these, which serves as ground truth in tests and benches.
+ */
+enum class EventType : std::uint8_t {
+    Cycles = 0,
+    Instructions,
+    Loads,
+    Stores,
+    Branches,
+    BranchMisses,
+    L1DMiss,
+    L2Miss,
+    LLCMiss,
+    DTlbMiss,
+    ContextSwitches,
+    NumEvents, // must be last
+};
+
+/** Number of distinct event types. */
+inline constexpr unsigned numEventTypes =
+    static_cast<unsigned>(EventType::NumEvents);
+
+/** Short human-readable event name for reports. */
+constexpr std::string_view
+eventName(EventType e)
+{
+    switch (e) {
+      case EventType::Cycles: return "cycles";
+      case EventType::Instructions: return "instructions";
+      case EventType::Loads: return "loads";
+      case EventType::Stores: return "stores";
+      case EventType::Branches: return "branches";
+      case EventType::BranchMisses: return "branch-misses";
+      case EventType::L1DMiss: return "l1d-miss";
+      case EventType::L2Miss: return "l2-miss";
+      case EventType::LLCMiss: return "llc-miss";
+      case EventType::DTlbMiss: return "dtlb-miss";
+      case EventType::ContextSwitches: return "context-switches";
+      default: return "?";
+    }
+}
+
+/**
+ * Event deltas produced by executing one op (or one kernel routine).
+ * Dense array indexed by EventType.
+ */
+struct EventDeltas
+{
+    std::uint64_t counts[numEventTypes] = {};
+
+    std::uint64_t &
+    operator[](EventType e)
+    {
+        return counts[static_cast<unsigned>(e)];
+    }
+
+    std::uint64_t
+    operator[](EventType e) const
+    {
+        return counts[static_cast<unsigned>(e)];
+    }
+
+    EventDeltas &
+    operator+=(const EventDeltas &o)
+    {
+        for (unsigned i = 0; i < numEventTypes; ++i)
+            counts[i] += o.counts[i];
+        return *this;
+    }
+};
+
+} // namespace limit::sim
+
+#endif // LIMIT_SIM_TYPES_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fixed-layout histograms used throughout the benches.
+ *
+ * Two flavours:
+ *   - Log2Histogram: one bucket per power of two; the natural choice
+ *     for critical-section / latency distributions spanning orders of
+ *     magnitude (paper-style figures).
+ *   - LinearHistogram: evenly sized buckets over [lo, hi) with
+ *     underflow/overflow tails.
+ */
+
+#ifndef LIMIT_STATS_HISTOGRAM_HH
+#define LIMIT_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace limit::stats {
+
+/** Histogram with one bucket per power-of-two magnitude. */
+class Log2Histogram
+{
+  public:
+    /** Buckets cover [2^0, 2^maxLog2); larger samples clamp to the top. */
+    explicit Log2Histogram(unsigned max_log2 = 48);
+
+    /** Record one sample. */
+    void add(std::uint64_t value) { add(value, 1); }
+
+    /** Record a sample with a weight (e.g. pre-aggregated counts). */
+    void add(std::uint64_t value, std::uint64_t weight);
+
+    /** Merge another histogram with identical layout. */
+    void merge(const Log2Histogram &other);
+
+    /** Number of buckets (index b covers [2^b, 2^(b+1)), bucket 0 is {0,1}). */
+    unsigned numBuckets() const { return static_cast<unsigned>(counts_.size()); }
+
+    /** Weighted count in bucket b. */
+    std::uint64_t bucket(unsigned b) const { return counts_.at(b); }
+
+    /** Inclusive lower bound of bucket b. */
+    static std::uint64_t bucketLo(unsigned b) { return b == 0 ? 0 : 1ull << b; }
+
+    /** Total weighted samples. */
+    std::uint64_t totalCount() const { return total_; }
+
+    /** Sum of recorded values (weighted), for mean computation. */
+    std::uint64_t totalValue() const { return sum_; }
+
+    /** Weighted mean of samples; 0 when empty. */
+    double mean() const;
+
+    /**
+     * Approximate p-quantile (q in [0,1]) assuming samples sit at their
+     * bucket's geometric midpoint.
+     */
+    double quantile(double q) const;
+
+    /** Reset to empty. */
+    void clear();
+
+    /**
+     * Render an ASCII bar chart, one row per non-empty bucket, at most
+     * `width` characters of bar.
+     */
+    std::string render(unsigned width = 50) const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/** Evenly bucketed histogram with explicit under/overflow tails. */
+class LinearHistogram
+{
+  public:
+    /** Bucket i covers [lo + i*w, lo + (i+1)*w) with w = (hi-lo)/n. */
+    LinearHistogram(double lo, double hi, unsigned num_buckets);
+
+    void add(double value) { add(value, 1); }
+    void add(double value, std::uint64_t weight);
+
+    unsigned numBuckets() const { return static_cast<unsigned>(counts_.size()); }
+    std::uint64_t bucket(unsigned b) const { return counts_.at(b); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t totalCount() const { return total_; }
+    double bucketLo(unsigned b) const { return lo_ + b * width_; }
+    double bucketWidth() const { return width_; }
+
+    double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+
+    void clear();
+
+    std::string render(unsigned width = 50) const;
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace limit::stats
+
+#endif // LIMIT_STATS_HISTOGRAM_HH

@@ -1,0 +1,94 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace limit::stats {
+
+void
+Summary::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double n_total = na + nb;
+    mean_ += delta * nb / n_total;
+    m2_ += other.m2_ + delta * delta * na * nb / n_total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+Summary::variance() const
+{
+    return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Samples::add(double x)
+{
+    values_.push_back(x);
+    sorted_ = false;
+    summary_.add(x);
+}
+
+double
+Samples::quantile(double q) const
+{
+    if (values_.empty())
+        return 0.0;
+    sortIfNeeded();
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(values_.size() - 1) + 0.5);
+    return values_[rank];
+}
+
+void
+Samples::clear()
+{
+    values_.clear();
+    sorted_ = true;
+    summary_.clear();
+}
+
+void
+Samples::sortIfNeeded() const
+{
+    if (!sorted_) {
+        std::sort(values_.begin(), values_.end());
+        sorted_ = true;
+    }
+}
+
+} // namespace limit::stats

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Streaming and exact summary statistics for experiment reporting.
+ */
+
+#ifndef LIMIT_STATS_SUMMARY_HH
+#define LIMIT_STATS_SUMMARY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace limit::stats {
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ * O(1) space; use Samples when exact quantiles are needed.
+ */
+class Summary
+{
+  public:
+    /** Record one observation. */
+    void add(double x);
+
+    /** Merge another accumulator (Chan et al. parallel update). */
+    void merge(const Summary &other);
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+    /** Population variance; 0 for fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    void clear() { *this = Summary(); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Exact-quantile sample store. Keeps every observation; intended for
+ * the bench harnesses where sample counts stay modest (<= millions).
+ */
+class Samples
+{
+  public:
+    void add(double x);
+    void reserve(std::size_t n) { values_.reserve(n); }
+
+    std::uint64_t count() const { return values_.size(); }
+    double mean() const { return summary_.mean(); }
+    double min() const { return summary_.min(); }
+    double max() const { return summary_.max(); }
+    double stddev() const { return summary_.stddev(); }
+
+    /** Exact q-quantile by nearest-rank; q in [0, 1]. */
+    double quantile(double q) const;
+    double median() const { return quantile(0.5); }
+
+    const std::vector<double> &values() const { return values_; }
+    void clear();
+
+  private:
+    void sortIfNeeded() const;
+
+    mutable std::vector<double> values_;
+    mutable bool sorted_ = true;
+    Summary summary_;
+};
+
+} // namespace limit::stats
+
+#endif // LIMIT_STATS_SUMMARY_HH

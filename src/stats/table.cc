@@ -1,0 +1,169 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace limit::stats {
+
+Table &
+Table::header(std::vector<std::string> cells)
+{
+    panic_if(cells.empty(), "empty table header");
+    header_ = std::move(cells);
+    return *this;
+}
+
+Table &
+Table::row(std::vector<std::string> cells)
+{
+    panic_if(inRow_, "Table::row while a row is under construction");
+    panic_if(!header_.empty() && cells.size() != header_.size(),
+             "row width ", cells.size(), " != header width ",
+             header_.size());
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+Table &
+Table::beginRow()
+{
+    if (inRow_) {
+        // Close the previous row implicitly.
+        row(std::move(pending_));
+        pending_.clear();
+    }
+    inRow_ = true;
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    panic_if(!inRow_, "Table::cell outside beginRow()");
+    pending_.push_back(text);
+    if (!header_.empty() && pending_.size() == header_.size()) {
+        inRow_ = false;
+        rows_.push_back(std::move(pending_));
+        pending_.clear();
+    }
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return cell(os.str());
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(std::int64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+std::string
+Table::render() const
+{
+    panic_if(inRow_, "rendering a table with an unterminated row");
+
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto emit = [&](std::ostringstream &os,
+                    const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]))
+               << cells[i];
+            if (i + 1 < cells.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    total = total >= 2 ? total - 2 : total;
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        emit(os, header_);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(os, r);
+    return os.str();
+}
+
+std::string
+Table::renderCsv() const
+{
+    panic_if(inRow_, "rendering a table with an unterminated row");
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << quote(cells[i]);
+            if (i + 1 < cells.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+std::string
+Table::withUnit(double value, const std::string &unit, int precision)
+{
+    static const struct { double scale; const char *prefix; } scales[] = {
+        {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+    };
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision);
+    const double mag = std::fabs(value);
+    for (const auto &s : scales) {
+        if (mag >= s.scale || s.scale == 1.0) {
+            os << value / s.scale << ' ' << s.prefix << unit;
+            return os.str();
+        }
+    }
+    return os.str();
+}
+
+} // namespace limit::stats

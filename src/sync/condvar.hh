@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Futex-based condition variable and barrier.
+ */
+
+#ifndef LIMIT_SYNC_CONDVAR_HH
+#define LIMIT_SYNC_CONDVAR_HH
+
+#include <cstdint>
+
+#include "sim/guest.hh"
+#include "sim/task.hh"
+#include "sim/types.hh"
+#include "sync/mutex.hh"
+
+namespace limit::sync {
+
+/** Sequence-counter condition variable (glibc style). */
+class CondVar
+{
+  public:
+    explicit CondVar(sim::Addr addr) : addr_(addr) {}
+
+    /**
+     * Atomically release `m` and sleep until signalled; re-acquires
+     * `m` before returning. Callers must re-check their predicate
+     * (spurious wakeups are possible, as with POSIX).
+     */
+    sim::Task<void> wait(sim::Guest &g, Mutex &m);
+
+    /** Wake one waiter. */
+    sim::Task<void> signal(sim::Guest &g);
+
+    /** Wake all waiters. */
+    sim::Task<void> broadcast(sim::Guest &g);
+
+  private:
+    std::uint64_t seq_ = 0;
+    sim::Addr addr_;
+};
+
+/** Sense-reversing counting barrier. */
+class Barrier
+{
+  public:
+    Barrier(unsigned parties, sim::Addr addr)
+        : parties_(parties), addr_(addr)
+    {}
+
+    /** Block until `parties` threads have arrived. */
+    sim::Task<void> arrive(sim::Guest &g);
+
+    unsigned parties() const { return parties_; }
+
+  private:
+    unsigned parties_;
+    std::uint64_t count_ = 0;
+    std::uint64_t generation_ = 0;
+    sim::Addr addr_;
+};
+
+} // namespace limit::sync
+
+#endif // LIMIT_SYNC_CONDVAR_HH

@@ -1,0 +1,67 @@
+#include "sync/rwlock.hh"
+
+#include "sync/futex.hh"
+
+// co_await results are bound to named locals before use; see the GCC 12
+// note in sim/task.hh.
+
+namespace limit::sync {
+
+sim::Task<std::uint64_t>
+RwLock::readLock(sim::Guest &g)
+{
+    std::uint64_t waits = 0;
+    for (;;) {
+        const std::uint64_t s = co_await g.atomicLoad(&word_, addr_);
+        if (s != writerBit) {
+            const std::uint64_t prev =
+                co_await g.atomicCas(&word_, addr_, s, s + 1);
+            if (prev == s)
+                co_return waits;
+            co_await g.compute(2); // CAS raced; brief pause and retry
+            continue;
+        }
+        ++waits;
+        co_await futexWait(g, &word_, addr_, writerBit);
+    }
+}
+
+sim::Task<void>
+RwLock::readUnlock(sim::Guest &g)
+{
+    const std::uint64_t old =
+        co_await g.atomicFetchAdd(&word_, addr_,
+                                  static_cast<std::uint64_t>(-1));
+    if (old == 1) {
+        // Last reader out: a writer may be sleeping.
+        co_await futexWake(g, &word_, addr_, ~0ull);
+    }
+}
+
+sim::Task<std::uint64_t>
+RwLock::writeLock(sim::Guest &g)
+{
+    std::uint64_t waits = 0;
+    for (;;) {
+        const std::uint64_t s = co_await g.atomicLoad(&word_, addr_);
+        if (s == 0) {
+            const std::uint64_t prev =
+                co_await g.atomicCas(&word_, addr_, 0, writerBit);
+            if (prev == 0)
+                co_return waits;
+            co_await g.compute(2);
+            continue;
+        }
+        ++waits;
+        co_await futexWait(g, &word_, addr_, s);
+    }
+}
+
+sim::Task<void>
+RwLock::writeUnlock(sim::Guest &g)
+{
+    co_await g.atomicStore(&word_, addr_, 0);
+    co_await futexWake(g, &word_, addr_, ~0ull);
+}
+
+} // namespace limit::sync

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Futex-based readers-writer lock.
+ *
+ * State word: 0 = free, n in [1, writerBit) = n readers,
+ * writerBit = exclusively held. Writers win no special preference;
+ * both sides retry after futex wakes. MySQL-class workloads use this
+ * for index locks (many readers, occasional structural writer).
+ */
+
+#ifndef LIMIT_SYNC_RWLOCK_HH
+#define LIMIT_SYNC_RWLOCK_HH
+
+#include <cstdint>
+
+#include "sim/guest.hh"
+#include "sim/task.hh"
+#include "sim/types.hh"
+
+namespace limit::sync {
+
+/** Shared/exclusive lock for guest threads. */
+class RwLock
+{
+  public:
+    explicit RwLock(sim::Addr addr) : addr_(addr) {}
+
+    /** Acquire shared; returns futexWait count (contention metric). */
+    sim::Task<std::uint64_t> readLock(sim::Guest &g);
+    sim::Task<void> readUnlock(sim::Guest &g);
+
+    /** Acquire exclusive; returns futexWait count. */
+    sim::Task<std::uint64_t> writeLock(sim::Guest &g);
+    sim::Task<void> writeUnlock(sim::Guest &g);
+
+    /** Host-side inspection. */
+    std::uint64_t readersHost() const
+    {
+        return word_ == writerBit ? 0 : word_;
+    }
+    bool writerHost() const { return word_ == writerBit; }
+
+    static constexpr std::uint64_t writerBit = 1ull << 32;
+
+  private:
+    std::uint64_t word_ = 0;
+    sim::Addr addr_;
+};
+
+} // namespace limit::sync
+
+#endif // LIMIT_SYNC_RWLOCK_HH

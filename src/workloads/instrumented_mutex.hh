@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A futex mutex with optional precise instrumentation of its
+ * acquisition cost and hold duration — the way the paper instruments
+ * pthread locks in MySQL/Apache/Firefox.
+ *
+ * Two regions are created per lock: "<name>.acquire" covers the lock
+ * call itself (fast-path CAS through futex sleeps) and "<name>.held"
+ * covers the critical section. With no profiler attached the wrapper
+ * adds zero guest work, giving the uninstrumented baseline.
+ */
+
+#ifndef LIMIT_WORKLOADS_INSTRUMENTED_MUTEX_HH
+#define LIMIT_WORKLOADS_INSTRUMENTED_MUTEX_HH
+
+#include <string>
+
+#include "pec/region.hh"
+#include "sim/region_table.hh"
+#include "sync/mutex.hh"
+
+namespace limit::workloads {
+
+/** Mutex wrapper with paper-style acquire/held instrumentation. */
+class InstrumentedMutex
+{
+  public:
+    InstrumentedMutex(sim::Addr addr, const std::string &name,
+                      sim::RegionTable &regions)
+        : mutex_(addr),
+          acquireRegion_(regions.intern(name + ".acquire")),
+          heldRegion_(regions.intern(name + ".held"))
+    {}
+
+    /** Enable measurement through `profiler` (nullptr disables). */
+    void attachProfiler(pec::RegionProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
+    /** Acquire, measuring acquisition and opening the held region. */
+    sim::Task<void>
+    lock(sim::Guest &g)
+    {
+        if (profiler_ == nullptr) {
+            const std::uint64_t w = co_await mutex_.lock(g);
+            (void)w;
+            co_return;
+        }
+        co_await profiler_->enter(g, acquireRegion_);
+        const std::uint64_t w = co_await mutex_.lock(g);
+        (void)w;
+        co_await profiler_->exit(g, acquireRegion_);
+        co_await profiler_->enter(g, heldRegion_);
+    }
+
+    /** Release, closing the held region. */
+    sim::Task<void>
+    unlock(sim::Guest &g)
+    {
+        if (profiler_ == nullptr) {
+            co_await mutex_.unlock(g);
+            co_return;
+        }
+        co_await profiler_->exit(g, heldRegion_);
+        co_await mutex_.unlock(g);
+    }
+
+    sync::Mutex &raw() { return mutex_; }
+    sim::RegionId acquireRegion() const { return acquireRegion_; }
+    sim::RegionId heldRegion() const { return heldRegion_; }
+    std::uint64_t acquisitions() const { return mutex_.acquisitions(); }
+
+  private:
+    sync::Mutex mutex_;
+    sim::RegionId acquireRegion_;
+    sim::RegionId heldRegion_;
+    pec::RegionProfiler *profiler_ = nullptr;
+};
+
+} // namespace limit::workloads
+
+#endif // LIMIT_WORKLOADS_INSTRUMENTED_MUTEX_HH

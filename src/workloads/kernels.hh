@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SPEC-class single-threaded compute kernels.
+ *
+ * Used as the "traditional benchmark" side of the paper's comparison
+ * between web-era applications and conventional CPU suites: regular
+ * memory behaviour, no synchronization, no kernel interaction.
+ */
+
+#ifndef LIMIT_WORKLOADS_KERNELS_HH
+#define LIMIT_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+
+#include "mem/address_stream.hh"
+#include "os/kernel.hh"
+
+namespace limit::workloads {
+
+/** Available kernel flavours. */
+enum class KernelKind : std::uint8_t {
+    Stream,   ///< streaming loads/stores, prefetch-friendly
+    PtrChase, ///< dependent random loads, cache-hostile
+    MatMul,   ///< blocked compute with a small hot working set
+    SortLike, ///< branchy compare-heavy work with random access
+};
+
+/** Display name for reports. */
+constexpr const char *
+kernelName(KernelKind k)
+{
+    switch (k) {
+      case KernelKind::Stream: return "stream";
+      case KernelKind::PtrChase: return "ptrchase";
+      case KernelKind::MatMul: return "matmul";
+      case KernelKind::SortLike: return "sortlike";
+      default: return "?";
+    }
+}
+
+/** One single-threaded kernel instance. */
+class ComputeKernel
+{
+  public:
+    ComputeKernel(os::Kernel &kernel, KernelKind kind,
+                  std::uint64_t working_set_bytes, std::uint64_t seed);
+
+    /** Spawn the kernel thread (runs until shouldStop()). */
+    void spawn();
+
+    KernelKind kind() const { return kind_; }
+    sim::ThreadId tid() const { return tid_; }
+    std::uint64_t iterations() const { return iterations_; }
+
+  private:
+    sim::Task<void> body(sim::Guest &g);
+
+    os::Kernel &kernel_;
+    KernelKind kind_;
+    mem::AddressSpace addressSpace_;
+    mem::Region data_;
+    mem::Region hot_;
+    std::uint64_t seed_;
+    sim::ThreadId tid_ = sim::invalidThread;
+    std::uint64_t iterations_ = 0;
+};
+
+} // namespace limit::workloads
+
+#endif // LIMIT_WORKLOADS_KERNELS_HH

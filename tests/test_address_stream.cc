@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for address-space allocation and stream generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mem/address_stream.hh"
+
+namespace limit::mem {
+namespace {
+
+TEST(AddressSpace, DisjointAligned)
+{
+    AddressSpace as;
+    const sim::Addr a = as.allocate(100, 64);
+    const sim::Addr b = as.allocate(100, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 100);
+}
+
+TEST(AddressSpace, PageAlignment)
+{
+    AddressSpace as;
+    as.allocate(10, 64);
+    const sim::Addr p = as.allocate(4096, 4096);
+    EXPECT_EQ(p % 4096, 0u);
+}
+
+TEST(UniformStream, StaysInRegion)
+{
+    Region r{0x10000, 4096};
+    UniformStream s(r, Rng(1));
+    for (int i = 0; i < 1000; ++i) {
+        const sim::Addr a = s.next();
+        ASSERT_TRUE(r.contains(a));
+        ASSERT_EQ(a % 8, 0u);
+    }
+}
+
+TEST(StrideStream, SequentialWrap)
+{
+    Region r{0x1000, 256};
+    StrideStream s(r, 64);
+    EXPECT_EQ(s.next(), 0x1000u);
+    EXPECT_EQ(s.next(), 0x1040u);
+    EXPECT_EQ(s.next(), 0x1080u);
+    EXPECT_EQ(s.next(), 0x10c0u);
+    EXPECT_EQ(s.next(), 0x1000u); // wrapped
+}
+
+TEST(ZipfStream, SkewConcentratesLines)
+{
+    Region r{0x100000, 64 * 1024}; // 1024 lines
+    ZipfStream s(r, 1.1, Rng(3));
+    std::map<sim::Addr, int> counts;
+    for (int i = 0; i < 20000; ++i) {
+        const sim::Addr a = s.next();
+        ASSERT_TRUE(r.contains(a));
+        ++counts[a / 64];
+    }
+    // The hottest line should take far more than the uniform share.
+    int hottest = 0;
+    for (auto &[line, c] : counts)
+        hottest = std::max(hottest, c);
+    EXPECT_GT(hottest, 20000 / 1024 * 20);
+}
+
+TEST(PointerChaseStream, CoversAllLinesOncePerCycle)
+{
+    Region r{0x2000, 64 * 32}; // 32 lines
+    PointerChaseStream s(r, Rng(5));
+    std::set<sim::Addr> seen;
+    for (int i = 0; i < 32; ++i) {
+        const sim::Addr a = s.next();
+        ASSERT_TRUE(r.contains(a));
+        seen.insert(a);
+    }
+    // Odd-step Weyl walk over 32 lines is a bijection => full cover.
+    EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(PointerChaseStream, NoImmediateLocality)
+{
+    Region r{0x2000, 64 * 1024};
+    PointerChaseStream s(r, Rng(7));
+    sim::Addr prev = s.next();
+    int adjacent = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const sim::Addr a = s.next();
+        if (a / 64 == prev / 64 + 1)
+            ++adjacent;
+        prev = a;
+    }
+    EXPECT_LT(adjacent, 20);
+}
+
+TEST(AddressSpaceDeathTest, BadArgsFatal)
+{
+    AddressSpace as;
+    EXPECT_EXIT(as.allocate(0), ::testing::ExitedWithCode(1), "empty");
+    EXPECT_EXIT(as.allocate(8, 3), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+} // namespace
+} // namespace limit::mem

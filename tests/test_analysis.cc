@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the analysis plumbing: SimBundle construction options and
+ * the ledger aggregation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/bundle.hh"
+#include "os/sysno.hh"
+
+namespace limit {
+namespace {
+
+using analysis::BundleOptions;
+using analysis::SimBundle;
+using sim::EventType;
+using sim::Guest;
+using sim::PrivMode;
+using sim::Task;
+
+TEST(Bundle, DefaultWiresCachesAndKernel)
+{
+    SimBundle b;
+    EXPECT_EQ(b.machine().numCores(), 4u);
+    EXPECT_NE(b.hierarchy(), nullptr);
+    // The machine's memory model is the hierarchy, not flat memory.
+    EXPECT_EQ(b.machine().memory(), b.hierarchy());
+    EXPECT_EQ(b.kernel().numThreads(), 0u);
+}
+
+TEST(Bundle, FlatMemoryOptionSkipsHierarchy)
+{
+    BundleOptions o;
+    o.useCaches = false;
+    SimBundle b(o);
+    EXPECT_EQ(b.hierarchy(), nullptr);
+    // Loads still work (flat fixed-latency model).
+    std::uint64_t misses = 1;
+    b.kernel().spawn("t", [&](Guest &g) -> Task<void> {
+        co_await g.load(0x1000);
+        misses = g.context().ledger().count(EventType::L1DMiss,
+                                            PrivMode::User);
+        co_return;
+    });
+    b.machine().run();
+    EXPECT_EQ(misses, 0u); // no cache model => no miss events
+}
+
+TEST(Bundle, QuantumOptionPropagates)
+{
+    BundleOptions o;
+    o.quantum = 123'456;
+    SimBundle b(o);
+    EXPECT_EQ(b.machine().config().costs.quantum, 123'456u);
+}
+
+TEST(Bundle, PmuOptionsPropagate)
+{
+    BundleOptions o;
+    o.pmuCounters = 6;
+    o.pmuFeatures.counterWidth = 20;
+    o.pmuFeatures.destructiveRead = true;
+    SimBundle b(o);
+    auto &pmu = b.machine().cpu(0).pmu();
+    EXPECT_EQ(pmu.numCounters(), 6u);
+    EXPECT_EQ(pmu.features().counterWidth, 20u);
+    EXPECT_TRUE(pmu.features().destructiveRead);
+}
+
+TEST(Bundle, RunAppliesStopRequest)
+{
+    SimBundle b;
+    std::uint64_t iters = 0;
+    b.kernel().spawn("t", [&](Guest &g) -> Task<void> {
+        while (!g.shouldStop()) {
+            co_await g.compute(1'000);
+            ++iters;
+        }
+        co_return;
+    });
+    const sim::Tick end = b.run(500'000);
+    EXPECT_GE(end, 500'000u);
+    EXPECT_GT(iters, 100u);
+}
+
+TEST(TotalEvent, SumsAcrossThreadsAndModes)
+{
+    BundleOptions o;
+    o.cores = 2;
+    SimBundle b(o);
+    for (int i = 0; i < 3; ++i) {
+        b.kernel().spawn("t" + std::to_string(i),
+                         [](Guest &g) -> Task<void> {
+                             co_await g.compute(1'000);
+                             co_await g.syscall(os::sysNop);
+                             co_return;
+                         });
+    }
+    b.machine().run();
+    const auto user = analysis::totalEvent(
+        b.kernel(), EventType::Instructions, PrivMode::User);
+    const auto kernel = analysis::totalEvent(
+        b.kernel(), EventType::Instructions, PrivMode::Kernel);
+    const auto both =
+        analysis::totalEvent(b.kernel(), EventType::Instructions);
+    EXPECT_EQ(both, user + kernel);
+    EXPECT_GE(user, 3'000u);
+    EXPECT_GT(kernel, 0u);
+
+    std::uint64_t manual = 0;
+    for (unsigned t = 0; t < b.kernel().numThreads(); ++t)
+        manual += b.kernel().thread(t).ctx.ledger().total(
+            EventType::Instructions);
+    EXPECT_EQ(both, manual);
+}
+
+TEST(PercentOf, HandlesZeroDenominator)
+{
+    EXPECT_EQ(analysis::percentOf(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(analysis::percentOf(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(analysis::percentOf(0, 10), 0.0);
+}
+
+} // namespace
+} // namespace limit

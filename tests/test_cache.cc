@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace limit::mem {
+namespace {
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c("t", {1024, 2, 64});
+    EXPECT_FALSE(c.access(0x40));
+    c.fill(0x40);
+    EXPECT_TRUE(c.access(0x40));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit)
+{
+    Cache c("t", {1024, 2, 64});
+    c.fill(0x40);
+    EXPECT_TRUE(c.access(0x40));
+    EXPECT_TRUE(c.access(0x7f)); // same 64B line
+    EXPECT_FALSE(c.access(0x80)); // next line
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2-way, 2 sets: lines with the same parity map to the same set.
+    Cache c("t", {256, 2, 64});
+    ASSERT_EQ(c.numSets(), 2u);
+    const sim::Addr a = 0 * 64, b = 2 * 64, d = 4 * 64; // all set 0
+    c.fill(a);
+    c.fill(b);
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_TRUE(c.contains(b));
+    // Touch a so b becomes LRU; then filling d must evict b.
+    EXPECT_TRUE(c.access(a));
+    c.fill(d);
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+    EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, ContainsDoesNotPerturbLru)
+{
+    Cache c("t", {256, 2, 64});
+    const sim::Addr a = 0 * 64, b = 2 * 64, d = 4 * 64;
+    c.fill(a); // a is LRU after b fills
+    c.fill(b);
+    (void)c.contains(a); // must NOT refresh a
+    c.fill(d); // evicts a (still LRU)
+    EXPECT_FALSE(c.contains(a));
+    EXPECT_TRUE(c.contains(b));
+}
+
+TEST(Cache, FlushEmpties)
+{
+    Cache c("t", {1024, 2, 64});
+    c.fill(0x40);
+    c.flush();
+    EXPECT_FALSE(c.contains(0x40));
+}
+
+TEST(Cache, WorkingSetLargerThanCacheAlwaysMisses)
+{
+    Cache c("t", {1024, 4, 64}); // 16 lines
+    // Stream 64 distinct lines twice: second pass still misses
+    // (capacity), since LRU evicts before reuse.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (int i = 0; i < 64; ++i) {
+            if (!c.access(static_cast<sim::Addr>(i) * 64))
+                c.fill(static_cast<sim::Addr>(i) * 64);
+        }
+    }
+    EXPECT_EQ(c.misses(), 128u);
+}
+
+TEST(Cache, WorkingSetFittingAlwaysHitsAfterWarmup)
+{
+    Cache c("t", {1024, 4, 64}); // 16 lines
+    for (int pass = 0; pass < 3; ++pass) {
+        for (int i = 0; i < 16; ++i) {
+            if (!c.access(static_cast<sim::Addr>(i) * 64))
+                c.fill(static_cast<sim::Addr>(i) * 64);
+        }
+    }
+    EXPECT_EQ(c.misses(), 16u); // only the cold pass
+    EXPECT_EQ(c.hits(), 32u);
+}
+
+TEST(CacheDeathTest, BadGeometryIsFatal)
+{
+    EXPECT_EXIT(Cache("t", {1024, 3, 64}), ::testing::ExitedWithCode(1),
+                "geometry");
+    EXPECT_EXIT(Cache("t", {1024, 2, 48}), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+} // namespace
+} // namespace limit::mem

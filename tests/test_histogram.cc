@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for stats histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+namespace limit::stats {
+namespace {
+
+TEST(Log2Histogram, BucketMapping)
+{
+    Log2Histogram h(16);
+    h.add(0);
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(4);
+    h.add(1023);
+    h.add(1024);
+    EXPECT_EQ(h.bucket(0), 2u); // 0 and 1
+    EXPECT_EQ(h.bucket(1), 2u); // 2 and 3
+    EXPECT_EQ(h.bucket(2), 1u); // 4
+    EXPECT_EQ(h.bucket(9), 1u); // 1023
+    EXPECT_EQ(h.bucket(10), 1u); // 1024
+    EXPECT_EQ(h.totalCount(), 7u);
+}
+
+TEST(Log2Histogram, OverflowClampsToTopBucket)
+{
+    Log2Histogram h(4); // buckets 0..3, top covers >= 8
+    h.add(1ull << 40);
+    EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Log2Histogram, WeightedAddAndMean)
+{
+    Log2Histogram h(16);
+    h.add(8, 3);
+    h.add(16, 1);
+    EXPECT_EQ(h.totalCount(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), (8.0 * 3 + 16.0) / 4.0);
+}
+
+TEST(Log2Histogram, Merge)
+{
+    Log2Histogram a(16), b(16);
+    a.add(4);
+    b.add(4);
+    b.add(100);
+    a.merge(b);
+    EXPECT_EQ(a.bucket(2), 2u);
+    EXPECT_EQ(a.totalCount(), 3u);
+}
+
+TEST(Log2HistogramDeathTest, MergeLayoutMismatch)
+{
+    Log2Histogram a(16), b(8);
+    EXPECT_DEATH(a.merge(b), "different layout");
+}
+
+TEST(Log2Histogram, QuantileMonotone)
+{
+    Log2Histogram h(32);
+    for (std::uint64_t v = 1; v <= 4096; v *= 2)
+        h.add(v, 10);
+    const double q10 = h.quantile(0.1);
+    const double q50 = h.quantile(0.5);
+    const double q90 = h.quantile(0.9);
+    EXPECT_LE(q10, q50);
+    EXPECT_LE(q50, q90);
+    EXPECT_GT(q90, 100.0);
+}
+
+TEST(Log2Histogram, ClearEmpties)
+{
+    Log2Histogram h(16);
+    h.add(5);
+    h.clear();
+    EXPECT_EQ(h.totalCount(), 0u);
+    EXPECT_EQ(h.render(), "(empty histogram)\n");
+}
+
+TEST(Log2Histogram, RenderShowsBars)
+{
+    Log2Histogram h(16);
+    h.add(4, 100);
+    h.add(64, 50);
+    const std::string r = h.render(20);
+    EXPECT_NE(r.find("[2^2, 2^3)"), std::string::npos);
+    EXPECT_NE(r.find("100"), std::string::npos);
+    EXPECT_NE(r.find('#'), std::string::npos);
+}
+
+TEST(LinearHistogram, BucketsAndTails)
+{
+    LinearHistogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(9.99);
+    h.add(10.0);
+    h.add(5.5);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.bucket(5), 1u);
+    EXPECT_EQ(h.totalCount(), 5u);
+}
+
+TEST(LinearHistogram, MeanIncludesTails)
+{
+    LinearHistogram h(0.0, 10.0, 5);
+    h.add(20.0);
+    h.add(0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+}
+
+TEST(LinearHistogramDeathTest, BadGeometry)
+{
+    EXPECT_DEATH(LinearHistogram(1.0, 1.0, 4), "hi <= lo");
+    EXPECT_DEATH(LinearHistogram(0.0, 1.0, 0), "zero buckets");
+}
+
+} // namespace
+} // namespace limit::stats

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace limit {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBound)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng r(9);
+    for (int i = 0; i < 50; ++i)
+        ASSERT_EQ(r.below(1), 0u);
+}
+
+TEST(RngDeathTest, BelowZeroPanics)
+{
+    Rng r(1);
+    EXPECT_DEATH({ (void)r.below(0); }, "Rng::below");
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t v = r.range(5, 7);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u); // all three values occur
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval)
+{
+    Rng r(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_FALSE(r.chance(0.0));
+        ASSERT_TRUE(r.chance(1.0));
+        ASSERT_FALSE(r.chance(-1.0));
+        ASSERT_TRUE(r.chance(2.0));
+    }
+}
+
+TEST(Rng, ChanceFrequencyMatchesP)
+{
+    Rng r(19);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricPOneIsZero)
+{
+    Rng r(23);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(r.geometric(1.0), 0u);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng r(29);
+    const double p = 0.25;
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    // Mean of failures-before-success is (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, ZipfStaysInRange)
+{
+    Rng r(31);
+    for (int i = 0; i < 2000; ++i)
+        ASSERT_LT(r.zipf(100, 0.99), 100u);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks)
+{
+    Rng r(37);
+    const std::uint64_t n = 1000;
+    std::uint64_t top_decile = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i)
+        top_decile += (r.zipf(n, 1.0) < n / 10);
+    // Uniform would put ~10% in the top decile; zipf(s=1) far more.
+    EXPECT_GT(top_decile, static_cast<std::uint64_t>(draws) * 3 / 10);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniformish)
+{
+    Rng r(41);
+    const std::uint64_t n = 10;
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[r.zipf(n, 0.0)];
+    for (auto c : counts)
+        EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(Rng, ForkDiverges)
+{
+    Rng a(5);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+} // namespace
+} // namespace limit

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for streaming summaries and exact-quantile samples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hh"
+
+namespace limit::stats {
+namespace {
+
+TEST(Summary, KnownMoments)
+{
+    Summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleSampleVarianceZero)
+{
+    Summary s;
+    s.add(3.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 3.0);
+    EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(Summary, MergeMatchesSequential)
+{
+    Summary all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double x = i * 0.37 - 5;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty)
+{
+    Summary a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    Summary b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Samples, ExactQuantiles)
+{
+    Samples s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+    EXPECT_NEAR(s.median(), 50.0, 1.0);
+    EXPECT_NEAR(s.quantile(0.9), 90.0, 1.0);
+}
+
+TEST(Samples, QuantileAfterInterleavedAdds)
+{
+    Samples s;
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.median(), 5.0);
+    s.add(1.0); // re-sorts lazily
+    s.add(9.0);
+    EXPECT_DOUBLE_EQ(s.median(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(Samples, ClearResets)
+{
+    Samples s;
+    s.add(1.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+} // namespace
+} // namespace limit::stats

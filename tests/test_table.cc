@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/table.hh"
+
+namespace limit::stats {
+namespace {
+
+TEST(Table, RenderContainsTitleHeaderAndCells)
+{
+    Table t("Demo");
+    t.header({"method", "ns"});
+    t.row({"pec", "37.1"});
+    t.beginRow().cell("perf").cell(3402.0, 1);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("== Demo =="), std::string::npos);
+    EXPECT_NE(out.find("method"), std::string::npos);
+    EXPECT_NE(out.find("pec"), std::string::npos);
+    EXPECT_NE(out.find("3402.0"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CellTypeFormatting)
+{
+    Table t("fmt");
+    t.header({"a", "b", "c", "d"});
+    t.beginRow()
+        .cell(std::uint64_t{18446744073709551615ull})
+        .cell(std::int64_t{-5})
+        .cell(1.23456, 3)
+        .cell("s");
+    const std::string out = t.render();
+    EXPECT_NE(out.find("18446744073709551615"), std::string::npos);
+    EXPECT_NE(out.find("-5"), std::string::npos);
+    EXPECT_NE(out.find("1.235"), std::string::npos);
+}
+
+TEST(TableDeathTest, RowWidthMismatchPanics)
+{
+    Table t("bad");
+    t.header({"a", "b"});
+    EXPECT_DEATH(t.row({"only-one"}), "row width");
+}
+
+TEST(Table, CsvQuotesSpecials)
+{
+    Table t("csv");
+    t.header({"name", "value"});
+    t.row({"a,b", "say \"hi\""});
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainFieldsUnquoted)
+{
+    Table t("csv");
+    t.header({"x"});
+    t.row({"plain"});
+    EXPECT_EQ(t.renderCsv(), "x\nplain\n");
+}
+
+TEST(Table, WithUnitScales)
+{
+    EXPECT_EQ(Table::withUnit(2'500'000'000.0, "Hz", 1), "2.5 GHz");
+    EXPECT_EQ(Table::withUnit(1500.0, "B", 1), "1.5 kB");
+    EXPECT_EQ(Table::withUnit(12.0, "ns", 0), "12 ns");
+}
+
+TEST(Table, ImplicitRowCompletion)
+{
+    Table t("auto");
+    t.header({"a", "b"});
+    // Filling exactly header-width cells closes the row automatically.
+    t.beginRow().cell(1).cell(2);
+    t.beginRow().cell(3).cell(4);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+} // namespace
+} // namespace limit::stats

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Direct tests of the Task coroutine machinery: value propagation,
+ * deep nesting via symmetric transfer, lifetime/ownership, and the
+ * guest-context resume protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/kernel.hh"
+#include "sim/machine.hh"
+#include "sim/task.hh"
+
+namespace limit {
+namespace {
+
+using os::Kernel;
+using sim::Guest;
+using sim::Machine;
+using sim::MachineConfig;
+using sim::Task;
+
+MachineConfig
+tiny()
+{
+    MachineConfig c;
+    c.numCores = 1;
+    return c;
+}
+
+Task<std::uint64_t>
+leafValue(Guest &g, std::uint64_t x)
+{
+    co_await g.compute(1);
+    co_return x * 2;
+}
+
+Task<std::uint64_t>
+midValue(Guest &g, std::uint64_t x)
+{
+    const std::uint64_t a = co_await leafValue(g, x);
+    const std::uint64_t b = co_await leafValue(g, x + 1);
+    co_return a + b;
+}
+
+TEST(Task, NestedValuePropagation)
+{
+    Machine m(tiny());
+    Kernel k(m);
+    std::uint64_t result = 0;
+    k.spawn("t", [&](Guest &g) -> Task<void> {
+        result = co_await midValue(g, 10);
+        co_return;
+    });
+    m.run();
+    EXPECT_EQ(result, 20u + 22u);
+}
+
+Task<std::uint64_t>
+recurse(Guest &g, unsigned depth)
+{
+    co_await g.compute(1);
+    if (depth == 0)
+        co_return 0;
+    const std::uint64_t below = co_await recurse(g, depth - 1);
+    co_return below + 1;
+}
+
+TEST(Task, DeepNestingViaSymmetricTransfer)
+{
+    // 10k-deep guest call stack: would overflow the host stack
+    // without symmetric transfer in final_suspend.
+    Machine m(tiny());
+    Kernel k(m);
+    std::uint64_t depth_seen = 0;
+    k.spawn("t", [&](Guest &g) -> Task<void> {
+        depth_seen = co_await recurse(g, 10'000);
+        co_return;
+    });
+    m.run();
+    EXPECT_EQ(depth_seen, 10'000u);
+}
+
+TEST(Task, VoidTaskSequencing)
+{
+    Machine m(tiny());
+    Kernel k(m);
+    std::vector<int> order;
+    auto phase = [&order](Guest &g, int id) -> Task<void> {
+        order.push_back(id);
+        co_await g.compute(5);
+        order.push_back(id + 100);
+    };
+    k.spawn("t", [&](Guest &g) -> Task<void> {
+        co_await phase(g, 1);
+        co_await phase(g, 2);
+        co_return;
+    });
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 101, 2, 102}));
+}
+
+TEST(Task, MoveTransfersOwnership)
+{
+    Machine m(tiny());
+    Kernel k(m);
+    k.spawn("t", [&](Guest &g) -> Task<void> {
+        Task<std::uint64_t> a = leafValue(g, 5);
+        Task<std::uint64_t> b = std::move(a);
+        EXPECT_FALSE(static_cast<bool>(a));
+        EXPECT_TRUE(static_cast<bool>(b));
+        const std::uint64_t v = co_await b;
+        EXPECT_EQ(v, 10u);
+        co_return;
+    });
+    m.run();
+}
+
+TEST(Task, DoneAndResultAfterCompletion)
+{
+    Machine m(tiny());
+    Kernel k(m);
+    k.spawn("t", [&](Guest &g) -> Task<void> {
+        Task<std::uint64_t> t = leafValue(g, 3);
+        EXPECT_FALSE(t.done()); // lazily started
+        const std::uint64_t v = co_await t;
+        EXPECT_EQ(v, 6u);
+        EXPECT_TRUE(t.done());
+        EXPECT_EQ(t.result(), 6u);
+        co_return;
+    });
+    m.run();
+}
+
+TEST(Task, DefaultConstructedIsDone)
+{
+    Task<void> t;
+    EXPECT_TRUE(t.done());
+    EXPECT_FALSE(static_cast<bool>(t));
+}
+
+TEST(Task, DestroyedMidFlightLeaksNothing)
+{
+    // A machine torn down while guests are suspended must destroy
+    // every coroutine frame (checked by ASan builds; here we at least
+    // exercise the path).
+    auto m = std::make_unique<Machine>(tiny());
+    auto k = std::make_unique<Kernel>(*m);
+    k->spawn("t", [](Guest &g) -> Task<void> {
+        for (;;)
+            co_await g.compute(1'000);
+    });
+    m->requestStopAt(1); // never honoured: thread ignores shouldStop
+    // Step a few ops by hand, then tear down with the guest suspended.
+    for (int i = 0; i < 5; ++i)
+        m->cpu(0).step();
+    k.reset();
+    m.reset();
+    SUCCEED();
+}
+
+TEST(Task, GuestRngIsPerThread)
+{
+    Machine m(tiny());
+    Kernel k(m);
+    std::vector<std::uint64_t> draws[2];
+    for (int i = 0; i < 2; ++i) {
+        k.spawn("t" + std::to_string(i), [&, i](Guest &g) -> Task<void> {
+            for (int j = 0; j < 8; ++j) {
+                draws[i].push_back(g.rng()());
+                co_await g.compute(10);
+            }
+            co_return;
+        });
+    }
+    m.run();
+    EXPECT_NE(draws[0], draws[1]); // independently seeded streams
+}
+
+TEST(Task, ShouldStopFalseWithoutRequest)
+{
+    Machine m(tiny());
+    Kernel k(m);
+    bool observed = true;
+    k.spawn("t", [&](Guest &g) -> Task<void> {
+        observed = g.shouldStop();
+        co_await g.compute(1);
+        co_return;
+    });
+    m.run();
+    EXPECT_FALSE(observed);
+}
+
+} // namespace
+} // namespace limit

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for the TLB model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+
+namespace limit::mem {
+namespace {
+
+TEST(Tlb, MissThenHitSamePage)
+{
+    Tlb t({4, 4096});
+    EXPECT_FALSE(t.access(0x1000));
+    t.fill(0x1000);
+    EXPECT_TRUE(t.access(0x1fff)); // same page
+    EXPECT_FALSE(t.access(0x2000)); // next page
+}
+
+TEST(Tlb, LruEviction)
+{
+    Tlb t({2, 4096});
+    t.fill(0x0000);
+    t.fill(0x1000);
+    EXPECT_TRUE(t.access(0x0000)); // page 0 becomes MRU
+    t.fill(0x2000); // evicts page 1
+    EXPECT_TRUE(t.access(0x0000));
+    EXPECT_FALSE(t.access(0x1000));
+    EXPECT_TRUE(t.access(0x2000));
+}
+
+TEST(Tlb, DoubleFillIsIdempotent)
+{
+    Tlb t({2, 4096});
+    t.fill(0x1000);
+    t.fill(0x1000);
+    t.fill(0x2000);
+    EXPECT_TRUE(t.access(0x1000)); // not evicted by its own refill
+    EXPECT_TRUE(t.access(0x2000));
+}
+
+TEST(Tlb, FlushEmpties)
+{
+    Tlb t({4, 4096});
+    t.fill(0x1000);
+    t.flush();
+    EXPECT_FALSE(t.access(0x1000));
+}
+
+TEST(Tlb, HitMissCountsTrack)
+{
+    Tlb t({4, 4096});
+    t.access(0x1000); // miss
+    t.fill(0x1000);
+    t.access(0x1000); // hit
+    t.access(0x1008); // hit
+    EXPECT_EQ(t.misses(), 1u);
+    EXPECT_EQ(t.hits(), 2u);
+}
+
+} // namespace
+} // namespace limit::mem
