@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e01_read_cost"
+  "../bench/bench_e01_read_cost.pdb"
+  "CMakeFiles/bench_e01_read_cost.dir/bench_e01_read_cost.cc.o"
+  "CMakeFiles/bench_e01_read_cost.dir/bench_e01_read_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e01_read_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

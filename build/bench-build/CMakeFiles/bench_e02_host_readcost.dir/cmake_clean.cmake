@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e02_host_readcost"
+  "../bench/bench_e02_host_readcost.pdb"
+  "CMakeFiles/bench_e02_host_readcost.dir/bench_e02_host_readcost.cc.o"
+  "CMakeFiles/bench_e02_host_readcost.dir/bench_e02_host_readcost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e02_host_readcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e03_overhead_scaling"
+  "../bench/bench_e03_overhead_scaling.pdb"
+  "CMakeFiles/bench_e03_overhead_scaling.dir/bench_e03_overhead_scaling.cc.o"
+  "CMakeFiles/bench_e03_overhead_scaling.dir/bench_e03_overhead_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_overhead_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e04_sampling_accuracy.cc" "bench-build/CMakeFiles/bench_e04_sampling_accuracy.dir/bench_e04_sampling_accuracy.cc.o" "gcc" "bench-build/CMakeFiles/bench_e04_sampling_accuracy.dir/bench_e04_sampling_accuracy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/limit_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/limit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/limit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/limit_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/limit_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/limit_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/pec/CMakeFiles/limit_pec.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/limit_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/limit_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/limit_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e05_sync_study"
+  "../bench/bench_e05_sync_study.pdb"
+  "CMakeFiles/bench_e05_sync_study.dir/bench_e05_sync_study.cc.o"
+  "CMakeFiles/bench_e05_sync_study.dir/bench_e05_sync_study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e05_sync_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e06_cs_histogram"
+  "../bench/bench_e06_cs_histogram.pdb"
+  "CMakeFiles/bench_e06_cs_histogram.dir/bench_e06_cs_histogram.cc.o"
+  "CMakeFiles/bench_e06_cs_histogram.dir/bench_e06_cs_histogram.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e06_cs_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

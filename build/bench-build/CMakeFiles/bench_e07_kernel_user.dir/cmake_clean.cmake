@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e07_kernel_user"
+  "../bench/bench_e07_kernel_user.pdb"
+  "CMakeFiles/bench_e07_kernel_user.dir/bench_e07_kernel_user.cc.o"
+  "CMakeFiles/bench_e07_kernel_user.dir/bench_e07_kernel_user.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e07_kernel_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

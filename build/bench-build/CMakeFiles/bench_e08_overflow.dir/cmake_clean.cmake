@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e08_overflow"
+  "../bench/bench_e08_overflow.pdb"
+  "CMakeFiles/bench_e08_overflow.dir/bench_e08_overflow.cc.o"
+  "CMakeFiles/bench_e08_overflow.dir/bench_e08_overflow.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e08_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

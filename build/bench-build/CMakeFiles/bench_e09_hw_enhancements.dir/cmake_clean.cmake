@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e09_hw_enhancements"
+  "../bench/bench_e09_hw_enhancements.pdb"
+  "CMakeFiles/bench_e09_hw_enhancements.dir/bench_e09_hw_enhancements.cc.o"
+  "CMakeFiles/bench_e09_hw_enhancements.dir/bench_e09_hw_enhancements.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e09_hw_enhancements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

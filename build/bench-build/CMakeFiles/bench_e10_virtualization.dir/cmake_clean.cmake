@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_virtualization"
+  "../bench/bench_e10_virtualization.pdb"
+  "CMakeFiles/bench_e10_virtualization.dir/bench_e10_virtualization.cc.o"
+  "CMakeFiles/bench_e10_virtualization.dir/bench_e10_virtualization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_virtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e12_ablations"
+  "../bench/bench_e12_ablations.pdb"
+  "CMakeFiles/bench_e12_ablations.dir/bench_e12_ablations.cc.o"
+  "CMakeFiles/bench_e12_ablations.dir/bench_e12_ablations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_handlers.dir/browser_handlers.cc.o"
+  "CMakeFiles/browser_handlers.dir/browser_handlers.cc.o.d"
+  "browser_handlers"
+  "browser_handlers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_handlers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mysql_lock_study.dir/mysql_lock_study.cc.o"
+  "CMakeFiles/mysql_lock_study.dir/mysql_lock_study.cc.o.d"
+  "mysql_lock_study"
+  "mysql_lock_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mysql_lock_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pecstat.dir/pecstat.cc.o"
+  "CMakeFiles/pecstat.dir/pecstat.cc.o.d"
+  "pecstat"
+  "pecstat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pecstat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pecstat.
+# This may be replaced when dependencies are built.

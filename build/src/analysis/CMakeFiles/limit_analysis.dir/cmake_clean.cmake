@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_analysis.dir/bundle.cc.o"
+  "CMakeFiles/limit_analysis.dir/bundle.cc.o.d"
+  "liblimit_analysis.a"
+  "liblimit_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

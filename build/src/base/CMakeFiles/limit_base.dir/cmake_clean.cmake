@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_base.dir/logging.cc.o"
+  "CMakeFiles/limit_base.dir/logging.cc.o.d"
+  "CMakeFiles/limit_base.dir/rng.cc.o"
+  "CMakeFiles/limit_base.dir/rng.cc.o.d"
+  "liblimit_base.a"
+  "liblimit_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

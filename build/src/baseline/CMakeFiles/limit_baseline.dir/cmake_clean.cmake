@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_baseline.dir/sampler.cc.o"
+  "CMakeFiles/limit_baseline.dir/sampler.cc.o.d"
+  "liblimit_baseline.a"
+  "liblimit_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_mem.dir/address_stream.cc.o"
+  "CMakeFiles/limit_mem.dir/address_stream.cc.o.d"
+  "CMakeFiles/limit_mem.dir/cache.cc.o"
+  "CMakeFiles/limit_mem.dir/cache.cc.o.d"
+  "CMakeFiles/limit_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/limit_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/limit_mem.dir/tlb.cc.o"
+  "CMakeFiles/limit_mem.dir/tlb.cc.o.d"
+  "liblimit_mem.a"
+  "liblimit_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

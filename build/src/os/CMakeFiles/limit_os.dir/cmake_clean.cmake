@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_os.dir/kernel.cc.o"
+  "CMakeFiles/limit_os.dir/kernel.cc.o.d"
+  "CMakeFiles/limit_os.dir/perf_event.cc.o"
+  "CMakeFiles/limit_os.dir/perf_event.cc.o.d"
+  "CMakeFiles/limit_os.dir/scheduler.cc.o"
+  "CMakeFiles/limit_os.dir/scheduler.cc.o.d"
+  "liblimit_os.a"
+  "liblimit_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

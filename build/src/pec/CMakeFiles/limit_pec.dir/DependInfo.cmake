@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pec/multiplex.cc" "src/pec/CMakeFiles/limit_pec.dir/multiplex.cc.o" "gcc" "src/pec/CMakeFiles/limit_pec.dir/multiplex.cc.o.d"
+  "/root/repo/src/pec/region.cc" "src/pec/CMakeFiles/limit_pec.dir/region.cc.o" "gcc" "src/pec/CMakeFiles/limit_pec.dir/region.cc.o.d"
+  "/root/repo/src/pec/session.cc" "src/pec/CMakeFiles/limit_pec.dir/session.cc.o" "gcc" "src/pec/CMakeFiles/limit_pec.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/limit_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/limit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/limit_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/limit_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_pec.dir/multiplex.cc.o"
+  "CMakeFiles/limit_pec.dir/multiplex.cc.o.d"
+  "CMakeFiles/limit_pec.dir/region.cc.o"
+  "CMakeFiles/limit_pec.dir/region.cc.o.d"
+  "CMakeFiles/limit_pec.dir/session.cc.o"
+  "CMakeFiles/limit_pec.dir/session.cc.o.d"
+  "liblimit_pec.a"
+  "liblimit_pec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_pec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

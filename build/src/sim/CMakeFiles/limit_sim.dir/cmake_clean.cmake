@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_sim.dir/cpu.cc.o"
+  "CMakeFiles/limit_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/limit_sim.dir/guest.cc.o"
+  "CMakeFiles/limit_sim.dir/guest.cc.o.d"
+  "CMakeFiles/limit_sim.dir/machine.cc.o"
+  "CMakeFiles/limit_sim.dir/machine.cc.o.d"
+  "CMakeFiles/limit_sim.dir/pmu.cc.o"
+  "CMakeFiles/limit_sim.dir/pmu.cc.o.d"
+  "CMakeFiles/limit_sim.dir/region_table.cc.o"
+  "CMakeFiles/limit_sim.dir/region_table.cc.o.d"
+  "liblimit_sim.a"
+  "liblimit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblimit_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_stats.dir/histogram.cc.o"
+  "CMakeFiles/limit_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/limit_stats.dir/summary.cc.o"
+  "CMakeFiles/limit_stats.dir/summary.cc.o.d"
+  "CMakeFiles/limit_stats.dir/table.cc.o"
+  "CMakeFiles/limit_stats.dir/table.cc.o.d"
+  "liblimit_stats.a"
+  "liblimit_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_sync.dir/condvar.cc.o"
+  "CMakeFiles/limit_sync.dir/condvar.cc.o.d"
+  "CMakeFiles/limit_sync.dir/mutex.cc.o"
+  "CMakeFiles/limit_sync.dir/mutex.cc.o.d"
+  "CMakeFiles/limit_sync.dir/rwlock.cc.o"
+  "CMakeFiles/limit_sync.dir/rwlock.cc.o.d"
+  "liblimit_sync.a"
+  "liblimit_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/browser.cc" "src/workloads/CMakeFiles/limit_workloads.dir/browser.cc.o" "gcc" "src/workloads/CMakeFiles/limit_workloads.dir/browser.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "src/workloads/CMakeFiles/limit_workloads.dir/kernels.cc.o" "gcc" "src/workloads/CMakeFiles/limit_workloads.dir/kernels.cc.o.d"
+  "/root/repo/src/workloads/oltp.cc" "src/workloads/CMakeFiles/limit_workloads.dir/oltp.cc.o" "gcc" "src/workloads/CMakeFiles/limit_workloads.dir/oltp.cc.o.d"
+  "/root/repo/src/workloads/webserver.cc" "src/workloads/CMakeFiles/limit_workloads.dir/webserver.cc.o" "gcc" "src/workloads/CMakeFiles/limit_workloads.dir/webserver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/limit_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/limit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/limit_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/limit_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/limit_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/pec/CMakeFiles/limit_pec.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/limit_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

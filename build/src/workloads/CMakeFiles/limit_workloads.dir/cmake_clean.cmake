@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_workloads.dir/browser.cc.o"
+  "CMakeFiles/limit_workloads.dir/browser.cc.o.d"
+  "CMakeFiles/limit_workloads.dir/kernels.cc.o"
+  "CMakeFiles/limit_workloads.dir/kernels.cc.o.d"
+  "CMakeFiles/limit_workloads.dir/oltp.cc.o"
+  "CMakeFiles/limit_workloads.dir/oltp.cc.o.d"
+  "CMakeFiles/limit_workloads.dir/webserver.cc.o"
+  "CMakeFiles/limit_workloads.dir/webserver.cc.o.d"
+  "liblimit_workloads.a"
+  "liblimit_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os.dir/test_kernel.cc.o"
+  "CMakeFiles/test_os.dir/test_kernel.cc.o.d"
+  "CMakeFiles/test_os.dir/test_perf_event.cc.o"
+  "CMakeFiles/test_os.dir/test_perf_event.cc.o.d"
+  "test_os"
+  "test_os.pdb"
+  "test_os[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pec.dir/test_pec.cc.o"
+  "CMakeFiles/test_pec.dir/test_pec.cc.o.d"
+  "test_pec"
+  "test_pec.pdb"
+  "test_pec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
