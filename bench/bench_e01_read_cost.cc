@@ -12,8 +12,11 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
+#include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/runner.hh"
 #include "baseline/readers.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
@@ -48,57 +51,79 @@ measure(baseline::CounterReader &reader, analysis::SimBundle &bundle)
 }
 
 analysis::BundleOptions
-options()
+options(std::uint64_t seed)
 {
     analysis::BundleOptions o;
     o.cores = 1;
+    o.seed = 1 + seed;
     return o;
+}
+
+struct Row
+{
+    std::string method;
+    sim::Tick cycles;
+};
+
+constexpr unsigned numMethods = 6;
+
+/** Measure method `m` (0-2 = PEC policies, then papi/perf/rusage). */
+Row
+runMethod(unsigned m, std::uint64_t seed)
+{
+    analysis::SimBundle b(options(seed));
+    if (m < 3) {
+        constexpr pec::OverflowPolicy policies[3] = {
+            pec::OverflowPolicy::KernelFixup,
+            pec::OverflowPolicy::DoubleCheck,
+            pec::OverflowPolicy::NaiveSum};
+        pec::PecConfig pc;
+        pc.policy = policies[m];
+        pec::PecSession session(b.kernel(), pc);
+        session.addEvent(0, sim::EventType::Instructions);
+        baseline::PecReader reader(session);
+        return {reader.name(), measure(reader, b)};
+    }
+    if (m == 3) {
+        b.kernel().perf().setupCounting(0, sim::EventType::Instructions,
+                                        true, false);
+        baseline::PapiReader reader;
+        return {reader.name(), measure(reader, b)};
+    }
+    if (m == 4) {
+        b.kernel().perf().setupCounting(0, sim::EventType::Instructions,
+                                        true, false);
+        baseline::PerfSyscallReader reader;
+        return {reader.name(), measure(reader, b)};
+    }
+    baseline::RusageReader reader;
+    return {reader.name(), measure(reader, b)};
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using limit::stats::Table;
 
-    struct Row
-    {
-        std::string method;
-        sim::Tick cycles;
-    };
-    std::vector<Row> rows;
+    const auto args = limit::analysis::parseBenchArgs(
+        argc, argv, {.seeds = 1, .jobs = 1},
+        "simulation seeds averaged per method");
+    limit::analysis::ParallelRunner pool(args.jobs);
 
-    // PEC policies.
-    for (auto policy :
-         {pec::OverflowPolicy::KernelFixup, pec::OverflowPolicy::DoubleCheck,
-          pec::OverflowPolicy::NaiveSum}) {
-        analysis::SimBundle b(options());
-        pec::PecConfig pc;
-        pc.policy = policy;
-        pec::PecSession session(b.kernel(), pc);
-        session.addEvent(0, sim::EventType::Instructions);
-        baseline::PecReader reader(session);
-        rows.push_back({reader.name(), measure(reader, b)});
-    }
-    {
-        analysis::SimBundle b(options());
-        b.kernel().perf().setupCounting(0, sim::EventType::Instructions,
-                                        true, false);
-        baseline::PapiReader reader;
-        rows.push_back({reader.name(), measure(reader, b)});
-    }
-    {
-        analysis::SimBundle b(options());
-        b.kernel().perf().setupCounting(0, sim::EventType::Instructions,
-                                        true, false);
-        baseline::PerfSyscallReader reader;
-        rows.push_back({reader.name(), measure(reader, b)});
-    }
-    {
-        analysis::SimBundle b(options());
-        baseline::RusageReader reader;
-        rows.push_back({reader.name(), measure(reader, b)});
+    const std::vector<Row> raw = pool.map(
+        numMethods * args.seeds, [&](std::size_t i) {
+            return runMethod(static_cast<unsigned>(i / args.seeds),
+                             i % args.seeds);
+        });
+    std::vector<Row> rows;
+    for (unsigned m = 0; m < numMethods; ++m) {
+        double sum = 0;
+        for (unsigned s = 0; s < args.seeds; ++s)
+            sum += static_cast<double>(raw[m * args.seeds + s].cycles);
+        rows.push_back({raw[m * args.seeds].method,
+                        static_cast<sim::Tick>(sum / args.seeds + 0.5)});
     }
 
     const double pec_ns = sim::ticksToNs(rows[0].cycles);

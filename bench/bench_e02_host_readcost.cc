@@ -20,8 +20,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <ctime>
 #include <fcntl.h>
+#include <vector>
 #include <sys/syscall.h>
 #include <unistd.h>
 
@@ -105,4 +107,28 @@ BENCHMARK(BM_proc_self_stat_read);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Accept (and ignore) the suite-wide --seeds/--jobs flags so drivers
+// can pass a uniform command line to every bench; this one measures
+// real host hardware, so seeds and fan-out do not apply.
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> kept;
+    kept.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seeds") == 0 ||
+            std::strcmp(argv[i], "--jobs") == 0) {
+            if (i + 1 < argc)
+                ++i; // skip the flag's value too
+            continue;
+        }
+        kept.push_back(argv[i]);
+    }
+    int kept_argc = static_cast<int>(kept.size());
+    benchmark::Initialize(&kept_argc, kept.data());
+    if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -13,8 +13,11 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
+#include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/runner.hh"
 #include "baseline/readers.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
@@ -41,10 +44,12 @@ methodName(Method m)
 }
 
 std::uint64_t
-runOnce(Method method, unsigned read_every, unsigned reads_per_hook)
+runOnce(Method method, unsigned read_every, unsigned reads_per_hook,
+        std::uint64_t seed)
 {
     analysis::BundleOptions o;
     o.cores = 4;
+    o.seed = 1 + seed;
     analysis::SimBundle b(o);
 
     std::unique_ptr<pec::PecSession> session;
@@ -81,7 +86,7 @@ runOnce(Method method, unsigned read_every, unsigned reads_per_hook)
             }
         };
     }
-    workloads::OltpServer oltp(b.machine(), b.kernel(), cfg, 99);
+    workloads::OltpServer oltp(b.machine(), b.kernel(), cfg, 99 + seed);
     oltp.spawn();
     b.run(runTicks);
     return oltp.operations();
@@ -90,11 +95,14 @@ runOnce(Method method, unsigned read_every, unsigned reads_per_hook)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using limit::stats::Table;
 
-    const std::uint64_t baseline_ops = runOnce(Method::None, 1, 0);
+    const auto args = analysis::parseBenchArgs(
+        argc, argv, {.seeds = 1, .jobs = 1},
+        "OLTP workload seeds averaged per table cell");
+    analysis::ParallelRunner pool(args.jobs);
 
     struct Density
     {
@@ -109,24 +117,58 @@ main()
         {"1/16", 16, 1}, {"1/4", 4, 1}, {"1", 1, 1},
         {"4", 1, 4},     {"16", 1, 16},
     };
+    const Method methods[] = {Method::Pec, Method::Papi, Method::Perf};
+
+    // One job per (table cell, seed): the uninstrumented baseline
+    // first, then every density x method point. Each job owns its
+    // whole simulated machine, so the fan-out is embarrassingly
+    // parallel and results are independent of worker count.
+    struct Job
+    {
+        Method m;
+        unsigned every;
+        unsigned reads;
+        std::uint64_t seed;
+    };
+    std::vector<Job> jobs;
+    for (unsigned s = 0; s < args.seeds; ++s)
+        jobs.push_back({Method::None, 1, 0, s});
+    for (const auto &d : densities) {
+        for (Method m : methods) {
+            for (unsigned s = 0; s < args.seeds; ++s)
+                jobs.push_back({m, d.every, d.reads, s});
+        }
+    }
+    const std::vector<std::uint64_t> ops = pool.map(
+        jobs.size(), [&](std::size_t i) {
+            const Job &j = jobs[i];
+            return runOnce(j.m, j.every, j.reads, j.seed);
+        });
+
+    std::size_t cursor = 0;
+    auto mean_ops = [&]() {
+        double sum = 0;
+        for (unsigned s = 0; s < args.seeds; ++s)
+            sum += static_cast<double>(ops[cursor++]);
+        return sum / args.seeds;
+    };
+    const double baseline_ops = mean_ops();
 
     Table t("E3: OLTP throughput vs instrumentation density "
             "(counter reads per DB operation; 30M-cycle run)");
     t.header({"reads per op", "method", "ops done", "slowdown"});
     for (const auto &d : densities) {
-        for (Method m : {Method::Pec, Method::Papi, Method::Perf}) {
-            const std::uint64_t ops = runOnce(m, d.every, d.reads);
+        for (Method m : methods) {
+            const double cell_ops = mean_ops();
             t.beginRow()
                 .cell(d.label)
                 .cell(methodName(m))
-                .cell(ops)
-                .cell(static_cast<double>(baseline_ops) /
-                          static_cast<double>(ops),
-                      2);
+                .cell(static_cast<std::uint64_t>(cell_ops + 0.5))
+                .cell(baseline_ops / cell_ops, 2);
         }
     }
     std::printf("uninstrumented ops in the same window: %llu\n\n",
-                static_cast<unsigned long long>(baseline_ops));
+                static_cast<unsigned long long>(baseline_ops + 0.5));
     std::fputs(t.render().c_str(), stdout);
     std::puts("\nShape check: pec stays within a few percent even at "
               "one read per operation; syscall methods degrade "

@@ -14,8 +14,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
+#include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/runner.hh"
 #include "baseline/sampler.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
@@ -44,13 +47,6 @@ straight()
     p.mispredictRate = 0;
     return p;
 }
-
-struct Estimates
-{
-    double truth;
-    double pec;
-    double sampled;
-};
 
 /** Run the workload once; measure the region with one method. */
 double
@@ -115,28 +111,56 @@ relErrPct(double est, double truth)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using limit::stats::Table;
+
+    const auto args = limit::analysis::parseBenchArgs(
+        argc, argv, {.seeds = 8, .jobs = 1},
+        "sampling seeds averaged per segment length");
+    limit::analysis::ParallelRunner pool(args.jobs);
+    const unsigned seeds = args.seeds;
 
     Table t("E4: target-segment instruction estimate error vs segment "
             "length (400 visits each)");
     t.header({"segment len", "truth", "pec est", "pec err%",
               "sample@4k err%", "sample@64k err%"});
 
-    constexpr unsigned seeds = 8;
-    for (std::uint64_t L :
-         {100ull, 300ull, 1000ull, 3000ull, 10'000ull, 30'000ull,
-          100'000ull}) {
+    const std::vector<std::uint64_t> lengths = {
+        100, 300, 1000, 3000, 10'000, 30'000, 100'000};
+
+    // One job per (L, method, seed) estimate; the whole sweep fans
+    // out at once and the table is assembled from the flat results.
+    struct Job
+    {
+        std::uint64_t L;
+        std::uint64_t period; // 0 = PEC precise measurement
+        std::uint64_t seed;
+    };
+    std::vector<Job> jobs;
+    for (std::uint64_t L : lengths) {
+        jobs.push_back({L, 0, 0});
+        for (unsigned s = 0; s < seeds; ++s)
+            jobs.push_back({L, 4'000, 11 + s});
+        for (unsigned s = 0; s < seeds; ++s)
+            jobs.push_back({L, 64'000, 11 + s});
+    }
+    const std::vector<double> estimates = pool.map(
+        jobs.size(), [&](std::size_t i) {
+            const Job &j = jobs[i];
+            return j.period == 0 ? runPec(j.L)
+                                 : runSampled(j.L, j.period, j.seed);
+        });
+
+    std::size_t cursor = 0;
+    for (std::uint64_t L : lengths) {
         const double truth = static_cast<double>(L) * iterations;
-        const double pec = runPec(L);
+        const double pec = estimates[cursor++];
         double fine_err = 0, coarse_err = 0;
-        for (unsigned s = 0; s < seeds; ++s) {
-            fine_err +=
-                relErrPct(runSampled(L, 4'000, 11 + s), truth);
-            coarse_err +=
-                relErrPct(runSampled(L, 64'000, 11 + s), truth);
-        }
+        for (unsigned s = 0; s < seeds; ++s)
+            fine_err += relErrPct(estimates[cursor++], truth);
+        for (unsigned s = 0; s < seeds; ++s)
+            coarse_err += relErrPct(estimates[cursor++], truth);
         t.beginRow()
             .cell(L)
             .cell(truth, 0)

@@ -11,18 +11,34 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "analysis/args.hh"
+#include "analysis/runner.hh"
 #include "stats/table.hh"
 #include "sync_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace limit;
     using benchsync::runApp;
     using stats::Table;
 
     constexpr sim::Tick ticks = 40'000'000;
+
+    const auto args = analysis::parseBenchArgs(
+        argc, argv, {.seeds = 1, .jobs = 1},
+        "workload seeds averaged in the summary table");
+    analysis::ParallelRunner pool(args.jobs);
+
+    // One job per (app, seed); the summary averages across seeds, the
+    // per-lock detail table shows the seed-0 run.
+    const auto &apps = benchsync::appNames();
+    const std::vector<benchsync::SyncRunResult> runs = pool.map(
+        apps.size() * args.seeds, [&](std::size_t i) {
+            return runApp(apps[i / args.seeds], ticks, i % args.seeds);
+        });
 
     Table summary("E5a: per-application synchronization summary "
                   "(40M-cycle run, 4 cores)");
@@ -34,28 +50,41 @@ main()
     detail.header({"app", "lock", "acquisitions", "mean acq cyc",
                    "mean held cyc", "p95 held cyc"});
 
-    for (const auto &app : benchsync::appNames()) {
-        const auto r = runApp(app, ticks);
-        std::uint64_t acq_cycles = 0, held_cycles = 0, acquisitions = 0;
-        for (const auto &l : r.locks) {
-            acq_cycles += l.acquire.totals[0];
-            held_cycles += l.held.totals[0];
-            acquisitions += l.held.entries;
-            detail.beginRow()
-                .cell(r.app)
-                .cell(l.name)
-                .cell(l.held.entries)
-                .cell(l.acquire.mean(0), 0)
-                .cell(l.held.mean(0), 0)
-                .cell(l.held.histogram.quantile(0.95), 0);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        double work_items = 0, mcycles = 0, acq_pct = 0, held_pct = 0,
+               acqs = 0;
+        for (unsigned s = 0; s < args.seeds; ++s) {
+            const auto &r = runs[a * args.seeds + s];
+            std::uint64_t acq_cycles = 0, held_cycles = 0,
+                          acquisitions = 0;
+            for (const auto &l : r.locks) {
+                acq_cycles += l.acquire.totals[0];
+                held_cycles += l.held.totals[0];
+                acquisitions += l.held.entries;
+                if (s == 0) {
+                    detail.beginRow()
+                        .cell(r.app)
+                        .cell(l.name)
+                        .cell(l.held.entries)
+                        .cell(l.acquire.mean(0), 0)
+                        .cell(l.held.mean(0), 0)
+                        .cell(l.held.histogram.quantile(0.95), 0);
+                }
+            }
+            work_items += static_cast<double>(r.workItems);
+            mcycles += static_cast<double>(r.totalCycles) / 1e6;
+            acq_pct += analysis::percentOf(acq_cycles, r.totalCycles);
+            held_pct += analysis::percentOf(held_cycles, r.totalCycles);
+            acqs += static_cast<double>(acquisitions);
         }
+        const double n = args.seeds;
         summary.beginRow()
-            .cell(r.app)
-            .cell(r.workItems)
-            .cell(static_cast<double>(r.totalCycles) / 1e6, 1)
-            .cell(analysis::percentOf(acq_cycles, r.totalCycles), 2)
-            .cell(analysis::percentOf(held_cycles, r.totalCycles), 2)
-            .cell(acquisitions);
+            .cell(apps[a])
+            .cell(static_cast<std::uint64_t>(work_items / n + 0.5))
+            .cell(mcycles / n, 1)
+            .cell(acq_pct / n, 2)
+            .cell(held_pct / n, 2)
+            .cell(static_cast<std::uint64_t>(acqs / n + 0.5));
     }
 
     std::fputs(summary.render().c_str(), stdout);

@@ -9,20 +9,38 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "analysis/args.hh"
+#include "analysis/runner.hh"
 #include "sync_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace limit;
     using benchsync::runApp;
 
     constexpr sim::Tick ticks = 40'000'000;
 
-    for (const auto &app : benchsync::appNames()) {
-        const auto r = runApp(app, ticks);
-        std::printf("=== %s ===\n", r.app.c_str());
+    const auto args = analysis::parseBenchArgs(
+        argc, argv, {.seeds = 1, .jobs = 1},
+        "workload seeds; each seed prints its own histogram section");
+    analysis::ParallelRunner pool(args.jobs);
+
+    const auto &apps = benchsync::appNames();
+    const std::vector<benchsync::SyncRunResult> runs = pool.map(
+        apps.size() * args.seeds, [&](std::size_t i) {
+            return runApp(apps[i / args.seeds], ticks, i % args.seeds);
+        });
+
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto &r = runs[i];
+        if (args.seeds > 1)
+            std::printf("=== %s (seed %zu) ===\n", r.app.c_str(),
+                        i % args.seeds);
+        else
+            std::printf("=== %s ===\n", r.app.c_str());
         for (const auto &l : r.locks) {
             std::printf("\n[%s] critical-section length (cycles held), "
                         "%llu acquisitions:\n",

@@ -13,8 +13,11 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
+#include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/runner.hh"
 #include "os/sysno.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
@@ -37,10 +40,11 @@ struct Breakdown
 
 /** Run `which` for `ticks`, measuring both modes via PEC counters. */
 Breakdown
-run(const std::string &which, sim::Tick ticks)
+run(const std::string &which, sim::Tick ticks, std::uint64_t seed)
 {
     analysis::BundleOptions o;
     o.cores = 4;
+    o.seed = 1 + seed;
     analysis::SimBundle b(o);
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Instructions, true, false);
@@ -55,26 +59,26 @@ run(const std::string &which, sim::Tick ticks)
         workloads::OltpConfig cfg;
         cfg.clients = 6;
         oltp = std::make_unique<workloads::OltpServer>(
-            b.machine(), b.kernel(), cfg, 4321);
+            b.machine(), b.kernel(), cfg, 4321 + seed);
         oltp->spawn();
     } else if (which == "web (Apache-like)") {
         workloads::WebConfig cfg;
         cfg.workers = 6;
         web = std::make_unique<workloads::WebServer>(
-            b.machine(), b.kernel(), cfg, 4321);
+            b.machine(), b.kernel(), cfg, 4321 + seed);
         web->spawn();
     } else if (which == "browser (Firefox-like)") {
         workloads::BrowserConfig cfg;
         browser = std::make_unique<workloads::BrowserLoop>(
-            b.machine(), b.kernel(), cfg, 4321);
+            b.machine(), b.kernel(), cfg, 4321 + seed);
         browser->spawn();
     } else if (which == "spec-like: matmul") {
         kern = std::make_unique<workloads::ComputeKernel>(
-            b.kernel(), workloads::KernelKind::MatMul, 8 << 20, 4321);
+            b.kernel(), workloads::KernelKind::MatMul, 8 << 20, 4321 + seed);
         kern->spawn();
     } else {
         kern = std::make_unique<workloads::ComputeKernel>(
-            b.kernel(), workloads::KernelKind::PtrChase, 16 << 20, 4321);
+            b.kernel(), workloads::KernelKind::PtrChase, 16 << 20, 4321 + seed);
         kern->spawn();
     }
 
@@ -96,9 +100,14 @@ run(const std::string &which, sim::Tick ticks)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using limit::stats::Table;
+
+    const auto args = limit::analysis::parseBenchArgs(
+        argc, argv, {.seeds = 1, .jobs = 1},
+        "workload seeds averaged per row");
+    limit::analysis::ParallelRunner pool(args.jobs);
 
     constexpr sim::Tick ticks = 30'000'000;
     Table t("E7: kernel/user dynamic instruction breakdown "
@@ -106,24 +115,37 @@ main()
     t.header({"workload", "user Minstr", "kernel Minstr", "kernel %",
               "counter-vs-ledger drift %"});
 
-    for (const std::string which :
-         {"oltp (MySQL-like)", "web (Apache-like)",
-          "browser (Firefox-like)", "spec-like: matmul",
-          "spec-like: ptrchase"}) {
-        const Breakdown r = run(which, ticks);
-        const double drift =
-            100.0 *
-            (static_cast<double>(r.pecUser + r.pecKernel) -
-             static_cast<double>(r.ledgerUser + r.ledgerKernel)) /
-            static_cast<double>(r.ledgerUser + r.ledgerKernel);
+    const std::vector<std::string> workloads = {
+        "oltp (MySQL-like)", "web (Apache-like)",
+        "browser (Firefox-like)", "spec-like: matmul",
+        "spec-like: ptrchase"};
+    const std::vector<Breakdown> runs = pool.map(
+        workloads.size() * args.seeds, [&](std::size_t i) {
+            return run(workloads[i / args.seeds], ticks,
+                       i % args.seeds);
+        });
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        double user = 0, kern = 0, kern_pct = 0, drift = 0;
+        for (unsigned s = 0; s < args.seeds; ++s) {
+            const Breakdown &r = runs[w * args.seeds + s];
+            user += static_cast<double>(r.ledgerUser) / 1e6;
+            kern += static_cast<double>(r.ledgerKernel) / 1e6;
+            kern_pct += analysis::percentOf(
+                r.ledgerKernel, r.ledgerUser + r.ledgerKernel);
+            drift += 100.0 *
+                     (static_cast<double>(r.pecUser + r.pecKernel) -
+                      static_cast<double>(r.ledgerUser +
+                                          r.ledgerKernel)) /
+                     static_cast<double>(r.ledgerUser + r.ledgerKernel);
+        }
+        const double n = args.seeds;
         t.beginRow()
-            .cell(which)
-            .cell(static_cast<double>(r.ledgerUser) / 1e6, 2)
-            .cell(static_cast<double>(r.ledgerKernel) / 1e6, 2)
-            .cell(analysis::percentOf(r.ledgerKernel,
-                                      r.ledgerUser + r.ledgerKernel),
-                  1)
-            .cell(drift, 2);
+            .cell(workloads[w])
+            .cell(user / n, 2)
+            .cell(kern / n, 2)
+            .cell(kern_pct / n, 1)
+            .cell(drift / n, 2);
     }
     std::fputs(t.render().c_str(), stdout);
     std::puts("\nShape check: the web server executes the largest "

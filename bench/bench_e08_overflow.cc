@@ -13,8 +13,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/runner.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
 
@@ -33,11 +36,12 @@ struct Outcome
 };
 
 Outcome
-run(pec::OverflowPolicy policy, unsigned width)
+run(pec::OverflowPolicy policy, unsigned width, std::uint64_t seed)
 {
     analysis::BundleOptions o;
     o.cores = 1;
     o.pmuFeatures.counterWidth = width;
+    o.seed = 1 + seed;
     analysis::SimBundle b(o);
     pec::PecConfig pc;
     pc.policy = policy;
@@ -71,29 +75,65 @@ run(pec::OverflowPolicy policy, unsigned width)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using limit::stats::Table;
     using pec::OverflowPolicy;
+
+    const auto args = limit::analysis::parseBenchArgs(
+        argc, argv, {.seeds = 1, .jobs = 1},
+        "simulation seeds averaged per (width, policy) row");
+    limit::analysis::ParallelRunner pool(args.jobs);
 
     Table t("E8: read correctness and cost under counter overflow "
             "(20k reads of a user-cycle counter)");
     t.header({"width", "policy", "wraps", "bad reads", "restarts",
               "dbl-chk retries", "cyc/read (incl 40-instr gap)"});
 
-    for (unsigned width : {12u, 16u, 20u}) {
-        for (auto policy :
-             {OverflowPolicy::None, OverflowPolicy::NaiveSum,
-              OverflowPolicy::KernelFixup, OverflowPolicy::DoubleCheck}) {
-            const Outcome r = run(policy, width);
+    const std::vector<unsigned> widths = {12, 16, 20};
+    const std::vector<OverflowPolicy> policies = {
+        OverflowPolicy::None, OverflowPolicy::NaiveSum,
+        OverflowPolicy::KernelFixup, OverflowPolicy::DoubleCheck};
+
+    struct Job
+    {
+        unsigned width;
+        OverflowPolicy policy;
+        std::uint64_t seed;
+    };
+    std::vector<Job> jobs;
+    for (unsigned width : widths)
+        for (auto policy : policies)
+            for (unsigned s = 0; s < args.seeds; ++s)
+                jobs.push_back({width, policy, s});
+    const std::vector<Outcome> runs = pool.map(
+        jobs.size(), [&](std::size_t i) {
+            const Job &j = jobs[i];
+            return run(j.policy, j.width, j.seed);
+        });
+
+    std::size_t cursor = 0;
+    for (unsigned width : widths) {
+        for (auto policy : policies) {
+            double wraps = 0, bad = 0, restarts = 0, retries = 0,
+                   cyc = 0;
+            for (unsigned s = 0; s < args.seeds; ++s) {
+                const Outcome &r = runs[cursor++];
+                wraps += static_cast<double>(r.wraps);
+                bad += static_cast<double>(r.erroneous);
+                restarts += static_cast<double>(r.restarts);
+                retries += static_cast<double>(r.retries);
+                cyc += r.cyclesPerRead;
+            }
+            const double n = args.seeds;
             t.beginRow()
                 .cell(width)
                 .cell(pec::policyName(policy))
-                .cell(r.wraps)
-                .cell(r.erroneous)
-                .cell(r.restarts)
-                .cell(r.retries)
-                .cell(r.cyclesPerRead, 1);
+                .cell(static_cast<std::uint64_t>(wraps / n + 0.5))
+                .cell(static_cast<std::uint64_t>(bad / n + 0.5))
+                .cell(static_cast<std::uint64_t>(restarts / n + 0.5))
+                .cell(static_cast<std::uint64_t>(retries / n + 0.5))
+                .cell(cyc / n, 1);
         }
     }
     std::fputs(t.render().c_str(), stdout);

@@ -15,8 +15,12 @@
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
+#include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/runner.hh"
 #include "os/sysno.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
@@ -27,11 +31,13 @@ using namespace limit;
 
 /** Cost of one plain read under a feature set / policy. */
 double
-readCost(const sim::PmuFeatures &features, pec::OverflowPolicy policy)
+readCost(const sim::PmuFeatures &features, pec::OverflowPolicy policy,
+         std::uint64_t seed)
 {
     analysis::BundleOptions o;
     o.cores = 1;
     o.pmuFeatures = features;
+    o.seed = 1 + seed;
     analysis::SimBundle b(o);
     pec::PecConfig pc;
     pc.policy = policy;
@@ -58,11 +64,12 @@ readCost(const sim::PmuFeatures &features, pec::OverflowPolicy policy)
 
 /** Cost of one enter+exit segment measurement pair. */
 double
-segmentCost(bool destructive)
+segmentCost(bool destructive, std::uint64_t seed)
 {
     analysis::BundleOptions o;
     o.cores = 1;
     o.pmuFeatures.destructiveRead = true;
+    o.seed = 1 + seed;
     analysis::SimBundle b(o);
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Instructions);
@@ -89,13 +96,14 @@ segmentCost(bool destructive)
 
 /** Mean kernel cycles per context switch with 4 counters active. */
 double
-switchCost(bool tagged, bool virtualized)
+switchCost(bool tagged, bool virtualized, std::uint64_t seed)
 {
     analysis::BundleOptions o;
     o.cores = 1;
     o.quantum = 10'000'000; // only voluntary switches
     o.pmuFeatures.taggedVirtualization = tagged;
     o.kernelConfig.virtualizeCounters = virtualized;
+    o.seed = 1 + seed;
     analysis::SimBundle b(o);
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Cycles);
@@ -126,54 +134,83 @@ switchCost(bool tagged, bool virtualized)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using limit::stats::Table;
+
+    const auto args = limit::analysis::parseBenchArgs(
+        argc, argv, {.seeds = 1, .jobs = 1},
+        "simulation seeds averaged per table cell");
+    limit::analysis::ParallelRunner pool(args.jobs);
+
+    // Every table cell is an independent closure over (seed); the
+    // whole bench fans out as cells x seeds and each cell reports the
+    // mean across seeds.
+    sim::PmuFeatures base;
+    sim::PmuFeatures wide;
+    wide.counterWidth = 64;
+    const std::vector<std::function<double(std::uint64_t)>> cells = {
+        [&](std::uint64_t s) {
+            return readCost(base, pec::OverflowPolicy::KernelFixup, s);
+        },
+        [&](std::uint64_t s) {
+            return readCost(base, pec::OverflowPolicy::DoubleCheck, s);
+        },
+        [&](std::uint64_t s) {
+            return readCost(wide, pec::OverflowPolicy::None, s);
+        },
+        [](std::uint64_t s) { return segmentCost(false, s); },
+        [](std::uint64_t s) { return segmentCost(true, s); },
+        [](std::uint64_t s) { return switchCost(false, true, s); },
+        [](std::uint64_t s) { return switchCost(true, true, s); },
+        [](std::uint64_t s) { return switchCost(false, false, s); },
+    };
+    const std::vector<double> raw = pool.map(
+        cells.size() * args.seeds, [&](std::size_t i) {
+            return cells[i / args.seeds](i % args.seeds);
+        });
+    auto mean = [&](std::size_t cell) {
+        double sum = 0;
+        for (unsigned s = 0; s < args.seeds; ++s)
+            sum += raw[cell * args.seeds + s];
+        return sum / args.seeds;
+    };
 
     Table t1("E9a: enhancement #1 — 64-bit counters vs 48-bit + "
              "overflow machinery (cycles per read)");
     t1.header({"hardware", "read path", "cycles/read"});
-    {
-        sim::PmuFeatures base;
-        t1.beginRow()
-            .cell("48-bit")
-            .cell("accum+rdpmc, kernel fix-up")
-            .cell(readCost(base, pec::OverflowPolicy::KernelFixup), 1);
-        t1.beginRow()
-            .cell("48-bit")
-            .cell("accum+rdpmc+recheck (double-check)")
-            .cell(readCost(base, pec::OverflowPolicy::DoubleCheck), 1);
-        sim::PmuFeatures wide;
-        wide.counterWidth = 64;
-        t1.beginRow()
-            .cell("64-bit (enh. #1)")
-            .cell("bare rdpmc, no virtualization needed")
-            .cell(readCost(wide, pec::OverflowPolicy::None), 1);
-    }
+    t1.beginRow()
+        .cell("48-bit")
+        .cell("accum+rdpmc, kernel fix-up")
+        .cell(mean(0), 1);
+    t1.beginRow()
+        .cell("48-bit")
+        .cell("accum+rdpmc+recheck (double-check)")
+        .cell(mean(1), 1);
+    t1.beginRow()
+        .cell("64-bit (enh. #1)")
+        .cell("bare rdpmc, no virtualization needed")
+        .cell(mean(2), 1);
     std::fputs(t1.render().c_str(), stdout);
 
     Table t2("E9b: enhancement #2 — destructive reads "
              "(cycles per empty segment measurement)");
     t2.header({"segment measurement", "cycles/enter+exit"});
-    t2.beginRow().cell("start/stop snapshots").cell(segmentCost(false), 1);
+    t2.beginRow().cell("start/stop snapshots").cell(mean(3), 1);
     t2.beginRow()
         .cell("destructive read-and-clear (enh. #2)")
-        .cell(segmentCost(true), 1);
+        .cell(mean(4), 1);
     std::puts("");
     std::fputs(t2.render().c_str(), stdout);
 
     Table t3("E9c: enhancement #3 — tagged counter virtualization "
              "(kernel cycles per context switch, 4 counters)");
     t3.header({"virtualization", "kernel cycles/switch"});
-    t3.beginRow()
-        .cell("software save/restore")
-        .cell(switchCost(false, true), 0);
-    t3.beginRow()
-        .cell("hardware-tagged (enh. #3)")
-        .cell(switchCost(true, true), 0);
+    t3.beginRow().cell("software save/restore").cell(mean(5), 0);
+    t3.beginRow().cell("hardware-tagged (enh. #3)").cell(mean(6), 0);
     t3.beginRow()
         .cell("(none: per-CPU counters, loses per-thread precision)")
-        .cell(switchCost(false, false), 0);
+        .cell(mean(7), 0);
     std::puts("");
     std::fputs(t3.render().c_str(), stdout);
 

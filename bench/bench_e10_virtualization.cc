@@ -14,8 +14,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
+#include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/runner.hh"
 #include "os/sysno.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
@@ -25,12 +28,13 @@ namespace {
 using namespace limit;
 
 double
-switchCostWithCounters(unsigned counters)
+switchCostWithCounters(unsigned counters, std::uint64_t seed)
 {
     analysis::BundleOptions o;
     o.cores = 1;
     o.quantum = 10'000'000;
     o.pmuCounters = 8;
+    o.seed = 1 + seed;
     analysis::SimBundle b(o);
     pec::PecSession session(b.kernel());
     const sim::EventType evs[8] = {
@@ -69,10 +73,11 @@ struct MuxResult
 };
 
 MuxResult
-runMux(sim::Tick rotation_interval)
+runMux(sim::Tick rotation_interval, std::uint64_t seed)
 {
     analysis::BundleOptions o;
     o.cores = 2;
+    o.seed = 1 + seed;
     analysis::SimBundle b(o);
     pec::MuxSession mux(b.kernel(), 0,
                         {{sim::EventType::Instructions, true, false},
@@ -126,29 +131,65 @@ runMux(sim::Tick rotation_interval)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using limit::stats::Table;
 
+    const auto args = limit::analysis::parseBenchArgs(
+        argc, argv, {.seeds = 1, .jobs = 1},
+        "simulation seeds averaged per table row");
+    limit::analysis::ParallelRunner pool(args.jobs);
+
+    const std::vector<unsigned> counter_counts = {0, 2, 4, 8};
+    const std::vector<sim::Tick> intervals = {500'000, 150'000,
+                                              50'000};
+
+    // Both sub-experiments fan out in a single map: switch-cost jobs
+    // first, then the multiplexing runs.
+    const std::size_t n_switch = counter_counts.size() * args.seeds;
+    const std::vector<MuxResult> mux_runs = pool.map(
+        intervals.size() * args.seeds, [&](std::size_t i) {
+            return runMux(intervals[i / args.seeds], i % args.seeds);
+        });
+    const std::vector<double> switch_costs = pool.map(
+        n_switch, [&](std::size_t i) {
+            return switchCostWithCounters(counter_counts[i / args.seeds],
+                                          i % args.seeds);
+        });
+
     Table t1("E10a: context-switch cost vs counters saved/restored");
     t1.header({"active counters", "kernel cycles per switch"});
-    for (unsigned n : {0u, 2u, 4u, 8u})
-        t1.beginRow().cell(n).cell(switchCostWithCounters(n), 0);
+    for (std::size_t c = 0; c < counter_counts.size(); ++c) {
+        double sum = 0;
+        for (unsigned s = 0; s < args.seeds; ++s)
+            sum += switch_costs[c * args.seeds + s];
+        t1.beginRow().cell(counter_counts[c]).cell(sum / args.seeds, 0);
+    }
     std::fputs(t1.render().c_str(), stdout);
 
     Table t2("E10b: multiplexing estimate error (4 events on 1 "
              "counter, phased workload, 20M-cycle run)");
     t2.header({"rotation interval", "rotations", "instr err%",
                "loads err%", "branches err%", "stores err%"});
-    for (sim::Tick interval : {500'000u, 150'000u, 50'000u}) {
-        const MuxResult r = runMux(interval);
+    for (std::size_t c = 0; c < intervals.size(); ++c) {
+        double rotations = 0, instr = 0, loads = 0, branches = 0,
+               stores = 0;
+        for (unsigned s = 0; s < args.seeds; ++s) {
+            const MuxResult &r = mux_runs[c * args.seeds + s];
+            rotations += static_cast<double>(r.rotations);
+            instr += r.errInstr;
+            loads += r.errLoads;
+            branches += r.errBranches;
+            stores += r.errStores;
+        }
+        const double n = args.seeds;
         t2.beginRow()
-            .cell(static_cast<std::uint64_t>(interval))
-            .cell(r.rotations)
-            .cell(r.errInstr, 1)
-            .cell(r.errLoads, 1)
-            .cell(r.errBranches, 1)
-            .cell(r.errStores, 1);
+            .cell(static_cast<std::uint64_t>(intervals[c]))
+            .cell(static_cast<std::uint64_t>(rotations / n + 0.5))
+            .cell(instr / n, 1)
+            .cell(loads / n, 1)
+            .cell(branches / n, 1)
+            .cell(stores / n, 1);
     }
     std::puts("");
     std::fputs(t2.render().c_str(), stdout);

@@ -13,8 +13,11 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
+#include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/runner.hh"
 #include "stats/table.hh"
 #include "workloads/browser.hh"
 #include "workloads/kernels.hh"
@@ -38,11 +41,12 @@ struct Row
 };
 
 Row
-characterize(const std::string &which)
+characterize(const std::string &which, std::uint64_t seed)
 {
     analysis::BundleOptions o;
     o.cores = 4;
     o.quantum = 1'000'000;
+    o.seed = 1 + seed;
     analysis::SimBundle b(o);
 
     std::unique_ptr<workloads::OltpServer> oltp;
@@ -55,18 +59,18 @@ characterize(const std::string &which)
         cfg.clients = 6;
         cfg.rowsPerTable = 1 << 18; // big leaves: real cache pressure
         oltp = std::make_unique<workloads::OltpServer>(
-            b.machine(), b.kernel(), cfg, 777);
+            b.machine(), b.kernel(), cfg, 777 + seed);
         oltp->spawn();
     } else if (which == "web (Apache-like)") {
         workloads::WebConfig cfg;
         cfg.workers = 6;
         web = std::make_unique<workloads::WebServer>(
-            b.machine(), b.kernel(), cfg, 777);
+            b.machine(), b.kernel(), cfg, 777 + seed);
         web->spawn();
     } else if (which == "browser (Firefox-like)") {
         workloads::BrowserConfig cfg;
         browser = std::make_unique<workloads::BrowserLoop>(
-            b.machine(), b.kernel(), cfg, 777);
+            b.machine(), b.kernel(), cfg, 777 + seed);
         browser->spawn();
     } else {
         workloads::KernelKind kind = workloads::KernelKind::Stream;
@@ -77,7 +81,7 @@ characterize(const std::string &which)
         else if (which == "spec-like: sortlike")
             kind = workloads::KernelKind::SortLike;
         kern = std::make_unique<workloads::ComputeKernel>(
-            b.kernel(), kind, 16 << 20, 777);
+            b.kernel(), kind, 16 << 20, 777 + seed);
         kern->spawn();
     }
 
@@ -123,30 +127,52 @@ characterize(const std::string &which)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using limit::stats::Table;
+
+    const auto args = limit::analysis::parseBenchArgs(
+        argc, argv, {.seeds = 1, .jobs = 1},
+        "workload seeds averaged per row");
+    limit::analysis::ParallelRunner pool(args.jobs);
 
     Table t("E11: web-era applications vs SPEC-class kernels "
             "(25M-cycle runs)");
     t.header({"workload", "user IPC", "L1D miss%", "LLC MPKI",
               "br MPKI", "dTLB MPKI", "kernel instr%", "cs/Mcyc"});
 
-    for (const std::string which :
-         {"oltp (MySQL-like)", "web (Apache-like)",
-          "browser (Firefox-like)", "spec-like: stream",
-          "spec-like: ptrchase", "spec-like: matmul",
-          "spec-like: sortlike"}) {
-        const Row r = characterize(which);
+    const std::vector<std::string> names = {
+        "oltp (MySQL-like)",   "web (Apache-like)",
+        "browser (Firefox-like)", "spec-like: stream",
+        "spec-like: ptrchase", "spec-like: matmul",
+        "spec-like: sortlike"};
+    const std::vector<Row> runs = pool.map(
+        names.size() * args.seeds, [&](std::size_t i) {
+            return characterize(names[i / args.seeds], i % args.seeds);
+        });
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        Row sum{};
+        for (unsigned s = 0; s < args.seeds; ++s) {
+            const Row &r = runs[w * args.seeds + s];
+            sum.ipc += r.ipc;
+            sum.l1MissPct += r.l1MissPct;
+            sum.llcMpki += r.llcMpki;
+            sum.branchMpki += r.branchMpki;
+            sum.dtlbMpki += r.dtlbMpki;
+            sum.kernelPct += r.kernelPct;
+            sum.switchesPerMcycle += r.switchesPerMcycle;
+        }
+        const double n = args.seeds;
         t.beginRow()
-            .cell(r.name)
-            .cell(r.ipc, 2)
-            .cell(r.l1MissPct, 1)
-            .cell(r.llcMpki, 2)
-            .cell(r.branchMpki, 2)
-            .cell(r.dtlbMpki, 2)
-            .cell(r.kernelPct, 1)
-            .cell(r.switchesPerMcycle, 1);
+            .cell(names[w])
+            .cell(sum.ipc / n, 2)
+            .cell(sum.l1MissPct / n, 1)
+            .cell(sum.llcMpki / n, 2)
+            .cell(sum.branchMpki / n, 2)
+            .cell(sum.dtlbMpki / n, 2)
+            .cell(sum.kernelPct / n, 1)
+            .cell(sum.switchesPerMcycle / n, 1);
     }
     std::fputs(t.render().c_str(), stdout);
     std::puts("\nShape check: the applications occupy a different "

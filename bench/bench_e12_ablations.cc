@@ -14,8 +14,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
+#include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/runner.hh"
 #include "baseline/sampler.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
@@ -34,11 +37,12 @@ struct QuantumResult
 };
 
 QuantumResult
-runQuantum(sim::Tick quantum)
+runQuantum(sim::Tick quantum, std::uint64_t seed)
 {
     analysis::BundleOptions o;
     o.cores = 2;
     o.quantum = quantum;
+    o.seed = 1 + seed;
     analysis::SimBundle b(o);
     pec::PecSession s(b.kernel());
     s.addEvent(0, sim::EventType::Cycles);
@@ -71,11 +75,12 @@ runQuantum(sim::Tick quantum)
 // --- (b) skid sweep ----------------------------------------------------
 
 double
-shortRegionErrorWithSkid(sim::Tick skid)
+shortRegionErrorWithSkid(sim::Tick skid, std::uint64_t seed)
 {
     analysis::BundleOptions o;
     o.cores = 1;
     o.pmuFeatures.counterWidth = 30;
+    o.seed = 1 + seed;
     analysis::SimBundle b(o);
     b.kernel().perf().setSkid(skid);
     baseline::SamplingProfiler prof(b.kernel(), 0,
@@ -114,16 +119,17 @@ struct PrefetchResult
 };
 
 PrefetchResult
-runPrefetch(bool enabled)
+runPrefetch(bool enabled, std::uint64_t seed)
 {
     analysis::BundleOptions o;
     o.cores = 4;
     o.hierarchy.nextLinePrefetch = enabled;
+    o.seed = 1 + seed;
     analysis::SimBundle b(o);
     workloads::OltpConfig cfg;
     cfg.clients = 6;
     cfg.rowsPerTable = 1 << 18;
-    workloads::OltpServer oltp(b.machine(), b.kernel(), cfg, 55);
+    workloads::OltpServer oltp(b.machine(), b.kernel(), cfg, 55 + seed);
     oltp.spawn();
     b.run(20'000'000);
     const double instr = static_cast<double>(
@@ -136,19 +142,47 @@ runPrefetch(bool enabled)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using limit::stats::Table;
+
+    const auto args = limit::analysis::parseBenchArgs(
+        argc, argv, {.seeds = 1, .jobs = 1},
+        "simulation seeds averaged per table row");
+    limit::analysis::ParallelRunner pool(args.jobs);
+    const unsigned seeds = args.seeds;
+
+    const std::vector<sim::Tick> quanta = {25'000, 100'000, 1'000'000,
+                                           12'000'000};
+    const std::vector<sim::Tick> skids = {0, 150, 400, 1'000};
+
+    const std::vector<QuantumResult> q_runs = pool.map(
+        quanta.size() * seeds, [&](std::size_t i) {
+            return runQuantum(quanta[i / seeds], i % seeds);
+        });
+    const std::vector<double> skid_errs = pool.map(
+        skids.size() * seeds, [&](std::size_t i) {
+            return shortRegionErrorWithSkid(skids[i / seeds], i % seeds);
+        });
+    const std::vector<PrefetchResult> pf_runs = pool.map(
+        2 * seeds, [&](std::size_t i) {
+            return runPrefetch(i / seeds == 1, i % seeds);
+        });
 
     Table t1("E12a: context-switch tax vs scheduler quantum "
              "(4 virtualized counters, 6 threads on 2 cores)");
     t1.header({"quantum (cycles)", "switches", "% cycles switching"});
-    for (sim::Tick q : {25'000u, 100'000u, 1'000'000u, 12'000'000u}) {
-        const auto r = runQuantum(q);
+    for (std::size_t c = 0; c < quanta.size(); ++c) {
+        double switches = 0, pct = 0;
+        for (unsigned s = 0; s < seeds; ++s) {
+            switches +=
+                static_cast<double>(q_runs[c * seeds + s].switches);
+            pct += q_runs[c * seeds + s].switchKernelPct;
+        }
         t1.beginRow()
-            .cell(static_cast<std::uint64_t>(q))
-            .cell(r.switches)
-            .cell(r.switchKernelPct, 2);
+            .cell(static_cast<std::uint64_t>(quanta[c]))
+            .cell(static_cast<std::uint64_t>(switches / seeds + 0.5))
+            .cell(pct / seeds, 2);
     }
     std::fputs(t1.render().c_str(), stdout);
 
@@ -156,20 +190,31 @@ main()
              "skid (period 3k, 3000 visits; precise counting is exact "
              "regardless)");
     t2.header({"skid (cycles)", "estimate error %"});
-    for (sim::Tick skid : {0u, 150u, 400u, 1'000u}) {
+    for (std::size_t c = 0; c < skids.size(); ++c) {
+        double err = 0;
+        for (unsigned s = 0; s < seeds; ++s)
+            err += skid_errs[c * seeds + s];
         t2.beginRow()
-            .cell(static_cast<std::uint64_t>(skid))
-            .cell(shortRegionErrorWithSkid(skid), 1);
+            .cell(static_cast<std::uint64_t>(skids[c]))
+            .cell(err / seeds, 1);
     }
     std::puts("");
     std::fputs(t2.render().c_str(), stdout);
 
     Table t3("E12c: next-line prefetcher ablation (OLTP, 20M cycles)");
     t3.header({"prefetcher", "txns committed", "LLC MPKI"});
-    const auto off = runPrefetch(false);
-    const auto on = runPrefetch(true);
-    t3.beginRow().cell("off").cell(off.committed).cell(off.llcMpki, 3);
-    t3.beginRow().cell("on").cell(on.committed).cell(on.llcMpki, 3);
+    for (int on = 0; on < 2; ++on) {
+        double committed = 0, mpki = 0;
+        for (unsigned s = 0; s < seeds; ++s) {
+            committed +=
+                static_cast<double>(pf_runs[on * seeds + s].committed);
+            mpki += pf_runs[on * seeds + s].llcMpki;
+        }
+        t3.beginRow()
+            .cell(on ? "on" : "off")
+            .cell(static_cast<std::uint64_t>(committed / seeds + 0.5))
+            .cell(mpki / seeds, 3);
+    }
     std::puts("");
     std::fputs(t3.render().c_str(), stdout);
 

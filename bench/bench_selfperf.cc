@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Self-throughput benchmark: how fast is the simulator itself?
+ *
+ * Every other bench reports *simulated* quantities; this one reports
+ * host wall-clock throughput of the simulation loop, so optimizations
+ * to the hot path (event application, cache model, run loop) show up
+ * as a number that can be tracked across commits. Two scenarios probe
+ * the two regimes the suite spends its time in:
+ *
+ *   - stream: one core running a pure compute kernel — the tight
+ *     step/apply/ledger path with almost no kernel involvement;
+ *   - oltp: four cores, six clients, syscalls, futexes and context
+ *     switches — the scheduling- and memory-heavy path.
+ *
+ * A third section re-runs the stream scenario on `--jobs` worker
+ * threads via the ParallelRunner to measure experiment-level scaling
+ * (distinct simulations in parallel, the way the bench suite fans
+ * out; single-simulation execution stays serial by design).
+ *
+ * Results go to stdout as a table and to BENCH_selfperf.json in the
+ * current directory for machine consumption (fields documented in
+ * the README).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/args.hh"
+#include "analysis/bundle.hh"
+#include "analysis/runner.hh"
+#include "pec/pec.hh"
+#include "stats/table.hh"
+#include "workloads/kernels.hh"
+#include "workloads/oltp.hh"
+
+namespace {
+
+using namespace limit;
+using clk = std::chrono::steady_clock;
+
+constexpr sim::Tick runTicks = 60'000'000;
+
+struct Throughput
+{
+    double instr = 0;  // guest instructions executed
+    double cycles = 0; // guest cycles elapsed (all cores)
+    double hostSec = 0;
+};
+
+/** One-core compute kernel: the tight simulation hot path. */
+Throughput
+runStream(std::uint64_t seed)
+{
+    const auto t0 = clk::now();
+    analysis::BundleOptions o;
+    o.cores = 1;
+    o.seed = 1 + seed;
+    analysis::SimBundle b(o);
+    pec::PecSession session(b.kernel());
+    session.addEvent(0, sim::EventType::Cycles, true, true);
+    workloads::ComputeKernel k(b.kernel(), workloads::KernelKind::Stream,
+                               16 << 20, 777 + seed);
+    k.spawn();
+    b.run(runTicks);
+    Throughput out;
+    out.hostSec = std::chrono::duration<double>(clk::now() - t0).count();
+    out.instr = static_cast<double>(analysis::totalEvent(
+        b.kernel(), sim::EventType::Instructions));
+    out.cycles = static_cast<double>(
+        analysis::totalEvent(b.kernel(), sim::EventType::Cycles));
+    return out;
+}
+
+/** Four-core OLTP: scheduling, syscalls and memory hierarchy. */
+Throughput
+runOltp(std::uint64_t seed)
+{
+    const auto t0 = clk::now();
+    analysis::BundleOptions o;
+    o.cores = 4;
+    o.seed = 1 + seed;
+    analysis::SimBundle b(o);
+    pec::PecSession session(b.kernel());
+    session.addEvent(0, sim::EventType::Cycles, true, true);
+    workloads::OltpConfig cfg;
+    cfg.clients = 6;
+    workloads::OltpServer oltp(b.machine(), b.kernel(), cfg, 99 + seed);
+    oltp.spawn();
+    b.run(runTicks);
+    Throughput out;
+    out.hostSec = std::chrono::duration<double>(clk::now() - t0).count();
+    out.instr = static_cast<double>(analysis::totalEvent(
+        b.kernel(), sim::EventType::Instructions));
+    out.cycles = static_cast<double>(
+        analysis::totalEvent(b.kernel(), sim::EventType::Cycles));
+    return out;
+}
+
+/** Best (max throughput) run of `reps` repetitions. */
+template <typename Fn>
+Throughput
+best(unsigned reps, Fn &&fn)
+{
+    Throughput b{};
+    for (unsigned i = 0; i < reps; ++i) {
+        const Throughput t = fn(i);
+        if (b.hostSec == 0 ||
+            t.instr / t.hostSec > b.instr / b.hostSec)
+            b = t;
+    }
+    return b;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using limit::stats::Table;
+
+    // --seeds = repetitions per scenario (best-of, to shed host
+    // noise); --jobs = worker threads for the scaling section.
+    const auto args = limit::analysis::parseBenchArgs(
+        argc, argv, {.seeds = 3, .jobs = 0},
+        "repetitions per scenario; the best run is reported");
+    analysis::ParallelRunner pool(args.jobs);
+    const unsigned jobs = pool.workers();
+
+    const Throughput stream = best(args.seeds,
+                                   [](unsigned i) { return runStream(i); });
+    const Throughput oltp = best(args.seeds,
+                                 [](unsigned i) { return runOltp(i); });
+
+    // Experiment-level scaling: `jobs` independent stream simulations
+    // driven through the same runner the bench suite uses. Elapsed
+    // time is for the whole batch, so perfect scaling holds aggregate
+    // throughput at jobs x the single-thread number.
+    const auto par_t0 = clk::now();
+    const std::vector<Throughput> par = pool.map(
+        jobs, [](std::size_t i) {
+            return runStream(100 + static_cast<std::uint64_t>(i));
+        });
+    const double par_sec =
+        std::chrono::duration<double>(clk::now() - par_t0).count();
+    double par_instr = 0, par_cycles = 0;
+    for (const auto &t : par) {
+        par_instr += t.instr;
+        par_cycles += t.cycles;
+    }
+
+    const double stream_mips = stream.instr / 1e6 / stream.hostSec;
+    const double oltp_mips = oltp.instr / 1e6 / oltp.hostSec;
+    const double par_mips = par_instr / 1e6 / par_sec;
+    const double scaling = par_mips / stream_mips;
+
+    Table t("Self-throughput: simulator performance on this host "
+            "(60M-tick runs, best of " +
+            std::to_string(args.seeds) + ")");
+    t.header({"scenario", "guest Minstr", "host sec",
+              "M guest-instr/s", "M guest-cyc/s"});
+    t.beginRow()
+        .cell("stream x1 (hot path)")
+        .cell(stream.instr / 1e6, 1)
+        .cell(stream.hostSec, 3)
+        .cell(stream_mips, 1)
+        .cell(stream.cycles / 1e6 / stream.hostSec, 1);
+    t.beginRow()
+        .cell("oltp x4 (sched+mem)")
+        .cell(oltp.instr / 1e6, 1)
+        .cell(oltp.hostSec, 3)
+        .cell(oltp_mips, 1)
+        .cell(oltp.cycles / 1e6 / oltp.hostSec, 1);
+    t.beginRow()
+        .cell("stream x" + std::to_string(jobs) + " (parallel runner)")
+        .cell(par_instr / 1e6, 1)
+        .cell(par_sec, 3)
+        .cell(par_mips, 1)
+        .cell(par_cycles / 1e6 / par_sec, 1);
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\nparallel-runner scaling at %u jobs: %.2fx the "
+                "single-thread throughput\n",
+                jobs, scaling);
+
+    // Machine-readable copy for tracking the perf trajectory.
+    std::FILE *json = std::fopen("BENCH_selfperf.json", "w");
+    if (json) {
+        std::fprintf(
+            json,
+            "{\n"
+            "  \"run_ticks\": %llu,\n"
+            "  \"repetitions\": %u,\n"
+            "  \"stream_minstr_per_sec\": %.2f,\n"
+            "  \"stream_mcycles_per_sec\": %.2f,\n"
+            "  \"oltp_minstr_per_sec\": %.2f,\n"
+            "  \"oltp_mcycles_per_sec\": %.2f,\n"
+            "  \"parallel_jobs\": %u,\n"
+            "  \"parallel_minstr_per_sec\": %.2f,\n"
+            "  \"parallel_scaling_x\": %.3f\n"
+            "}\n",
+            static_cast<unsigned long long>(runTicks), args.seeds,
+            stream_mips, stream.cycles / 1e6 / stream.hostSec,
+            oltp_mips, oltp.cycles / 1e6 / oltp.hostSec, jobs,
+            par_mips, scaling);
+        std::fclose(json);
+        std::puts("wrote BENCH_selfperf.json");
+    }
+    return 0;
+}

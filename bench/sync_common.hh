@@ -49,12 +49,16 @@ collectLock(const pec::RegionProfiler &prof, sim::RegionTable &regions,
     out.locks.push_back(std::move(s));
 }
 
-/** Run one app with lock instrumentation for `ticks`. */
+/**
+ * Run one app with lock instrumentation for `ticks`. `seed` offsets
+ * the workload RNG (0 reproduces the historical tables).
+ */
 inline SyncRunResult
-runApp(const std::string &which, sim::Tick ticks)
+runApp(const std::string &which, sim::Tick ticks, std::uint64_t seed = 0)
 {
     analysis::BundleOptions o;
     o.cores = 4;
+    o.seed = 1 + seed;
     analysis::SimBundle b(o);
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Cycles, true, true);
@@ -80,20 +84,20 @@ runApp(const std::string &which, sim::Tick ticks)
         cfg.clients = 6;
         cfg.readRatio = 0.5;
         oltp = std::make_unique<workloads::OltpServer>(
-            b.machine(), b.kernel(), cfg, 1234);
+            b.machine(), b.kernel(), cfg, 1234 + seed);
         oltp->attachProfiler(&prof);
         oltp->spawn();
     } else if (which == "web (Apache-like)") {
         workloads::WebConfig cfg;
         cfg.workers = 6;
         web = std::make_unique<workloads::WebServer>(
-            b.machine(), b.kernel(), cfg, 1234);
+            b.machine(), b.kernel(), cfg, 1234 + seed);
         web->attachProfiler(&prof);
         web->spawn();
     } else {
         workloads::BrowserConfig cfg;
         browser = std::make_unique<workloads::BrowserLoop>(
-            b.machine(), b.kernel(), cfg, 1234);
+            b.machine(), b.kernel(), cfg, 1234 + seed);
         browser->attachProfiler(&prof);
         browser->spawn();
     }

@@ -1,0 +1,75 @@
+#include "analysis/args.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace limit::analysis {
+
+namespace {
+
+[[noreturn]] void
+usage(const char *prog, const BenchArgs &defaults,
+      const char *what_seeds, int exit_code)
+{
+    std::FILE *out = exit_code == 0 ? stdout : stderr;
+    std::fprintf(out,
+                 "usage: %s [--seeds N] [--jobs N]\n"
+                 "  --seeds N  %s (default %u)\n"
+                 "  --jobs N   host threads for parallel experiment "
+                 "fan-out; 0 = all hardware threads (default %u)\n",
+                 prog,
+                 what_seeds ? what_seeds
+                            : "repetitions averaged per table point",
+                 defaults.seeds, defaults.jobs);
+    std::exit(exit_code);
+}
+
+unsigned
+parseUnsigned(const char *prog, const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text ? text : "", &end, 10);
+    if (text == nullptr || *text == '\0' || *end != '\0' ||
+        v > 1'000'000) {
+        std::fprintf(stderr, "%s: bad value for %s: '%s'\n", prog, flag,
+                     text ? text : "");
+        std::exit(2);
+    }
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
+BenchArgs
+parseBenchArgs(int argc, char **argv, BenchArgs defaults,
+               const char *what_seeds)
+{
+    BenchArgs args = defaults;
+    const char *prog = argc > 0 ? argv[0] : "bench";
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            usage(prog, defaults, what_seeds, 0);
+        } else if (std::strcmp(arg, "--seeds") == 0) {
+            args.seeds = parseUnsigned(
+                prog, arg, i + 1 < argc ? argv[++i] : nullptr);
+            if (args.seeds == 0) {
+                std::fprintf(stderr, "%s: --seeds must be >= 1\n", prog);
+                std::exit(2);
+            }
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            args.jobs = parseUnsigned(
+                prog, arg, i + 1 < argc ? argv[++i] : nullptr);
+        } else {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n", prog,
+                         arg);
+            usage(prog, defaults, what_seeds, 2);
+        }
+    }
+    return args;
+}
+
+} // namespace limit::analysis

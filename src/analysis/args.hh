@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared command-line parsing for the bench binaries.
+ *
+ * Every bench accepts the same two knobs:
+ *   --seeds N   repetitions averaged per table point (statistical
+ *               depth; benches with no seed sweep document how they
+ *               interpret it, typically as a repetition count)
+ *   --jobs N    host threads for the ParallelRunner fan-out
+ *               (0 = one per hardware thread)
+ * so `bench_e04 --seeds 16 --jobs 8` deepens and parallelizes a
+ * reproduction run without editing source. Parsing is deliberately
+ * tiny — two flags and --help — rather than a general option library.
+ */
+
+#ifndef LIMIT_ANALYSIS_ARGS_HH
+#define LIMIT_ANALYSIS_ARGS_HH
+
+namespace limit::analysis {
+
+/** Parsed bench options (defaults supplied by each bench). */
+struct BenchArgs
+{
+    unsigned seeds = 1;
+    unsigned jobs = 1;
+};
+
+/**
+ * Parse --seeds/--jobs from argv, starting from the given defaults.
+ * Prints usage and exits(0) on --help/-h; prints an error and
+ * exits(2) on unknown flags or malformed values. `what_seeds` is the
+ * one-line meaning of --seeds shown in --help (nullptr for the
+ * generic wording).
+ */
+BenchArgs parseBenchArgs(int argc, char **argv, BenchArgs defaults,
+                         const char *what_seeds = nullptr);
+
+} // namespace limit::analysis
+
+#endif // LIMIT_ANALYSIS_ARGS_HH

@@ -1,0 +1,14 @@
+#include "analysis/runner.hh"
+
+namespace limit::analysis {
+
+unsigned
+ParallelRunner::resolveWorkers(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace limit::analysis

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Parallel experiment runner.
+ *
+ * Every experiment in this repo is a fan of fully independent jobs —
+ * one simulated machine per (seed, configuration) point — so the bench
+ * tables parallelize trivially across host threads. ParallelRunner
+ * owns that fan-out: a fixed-size worker pool pulls job indices off a
+ * shared atomic cursor, each job builds and runs its own SimBundle
+ * (no sharing, no locks on the simulation path), and results land in
+ * a slot vector indexed by submission order.
+ *
+ * Determinism: a job's result depends only on its index (which the
+ * caller maps to a seed/config), never on which worker ran it or in
+ * what order jobs finished — so `map(n, fn)` returns bit-identical
+ * results for any worker count, including the inline serial path used
+ * for workers() == 1. Verified by tests/test_runner.cc.
+ *
+ * Exceptions: a throwing job never wedges the pool. Workers catch the
+ * exception into the job's slot and keep draining the queue; after
+ * all workers join, the lowest-index captured exception is rethrown
+ * on the calling thread (the serial path matches: run everything,
+ * then rethrow the first failure).
+ */
+
+#ifndef LIMIT_ANALYSIS_RUNNER_HH
+#define LIMIT_ANALYSIS_RUNNER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace limit::analysis {
+
+/** Fixed-size worker pool mapping job indices to results. */
+class ParallelRunner
+{
+  public:
+    /**
+     * @param workers host threads to fan across; 0 means "one per
+     *        hardware thread", 1 means run inline on the caller.
+     */
+    explicit ParallelRunner(unsigned workers = 1)
+        : workers_(resolveWorkers(workers))
+    {
+    }
+
+    unsigned workers() const { return workers_; }
+
+    /**
+     * Run `fn(0) .. fn(count - 1)` across the pool and return the
+     * results in index (submission) order. `fn` must be invocable
+     * with a std::size_t index and return a movable non-void value;
+     * it is called concurrently from multiple threads, so everything
+     * it touches must be job-local (build the SimBundle inside).
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t count, Fn fn)
+        -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+    {
+        using R = std::invoke_result_t<Fn &, std::size_t>;
+        static_assert(!std::is_void_v<R>,
+                      "ParallelRunner::map jobs must return a value");
+
+        std::vector<std::optional<R>> slots(count);
+        std::vector<std::exception_ptr> errors(count);
+
+        auto run_one = [&](std::size_t i) {
+            try {
+                slots[i].emplace(fn(i));
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        };
+
+        if (workers_ <= 1 || count <= 1) {
+            for (std::size_t i = 0; i < count; ++i)
+                run_one(i);
+        } else {
+            std::atomic<std::size_t> cursor{0};
+            auto worker = [&]() {
+                for (;;) {
+                    const std::size_t i =
+                        cursor.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= count)
+                        return;
+                    run_one(i);
+                }
+            };
+            const std::size_t nthreads =
+                std::min<std::size_t>(workers_, count);
+            std::vector<std::thread> pool;
+            pool.reserve(nthreads);
+            for (std::size_t t = 0; t < nthreads; ++t)
+                pool.emplace_back(worker);
+            for (auto &t : pool)
+                t.join();
+        }
+
+        for (std::size_t i = 0; i < count; ++i) {
+            if (errors[i])
+                std::rethrow_exception(errors[i]);
+        }
+
+        std::vector<R> out;
+        out.reserve(count);
+        for (auto &slot : slots)
+            out.push_back(std::move(*slot));
+        return out;
+    }
+
+  private:
+    static unsigned resolveWorkers(unsigned requested);
+
+    unsigned workers_;
+};
+
+} // namespace limit::analysis
+
+#endif // LIMIT_ANALYSIS_RUNNER_HH

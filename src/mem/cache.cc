@@ -20,52 +20,10 @@ Cache::Cache(std::string name, const CacheGeometry &geometry)
     numSets_ = static_cast<unsigned>(lines / geometry.ways);
     fatal_if(!std::has_single_bit(static_cast<std::uint64_t>(numSets_)),
              "cache '", name_, "': set count must be a power of two");
+    lineShift_ = static_cast<unsigned>(std::countr_zero(
+        static_cast<std::uint64_t>(geometry.lineBytes)));
     lines_.assign(static_cast<std::size_t>(numSets_) * geometry.ways,
                   emptyLine);
-}
-
-std::uint64_t
-Cache::lineOf(sim::Addr addr) const
-{
-    return addr / geometry_.lineBytes;
-}
-
-unsigned
-Cache::setOf(std::uint64_t line) const
-{
-    return static_cast<unsigned>(line & (numSets_ - 1));
-}
-
-bool
-Cache::access(sim::Addr addr)
-{
-    const std::uint64_t line = lineOf(addr);
-    const unsigned set = setOf(line);
-    auto *base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
-    for (unsigned i = 0; i < geometry_.ways; ++i) {
-        if (base[i] == line) {
-            // Move to MRU position.
-            for (unsigned j = i; j > 0; --j)
-                base[j] = base[j - 1];
-            base[0] = line;
-            ++hits_;
-            return true;
-        }
-    }
-    ++misses_;
-    return false;
-}
-
-void
-Cache::fill(sim::Addr addr)
-{
-    const std::uint64_t line = lineOf(addr);
-    const unsigned set = setOf(line);
-    auto *base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
-    // Shift everything down one way; the LRU way falls off the end.
-    for (unsigned j = geometry_.ways - 1; j > 0; --j)
-        base[j] = base[j - 1];
-    base[0] = line;
 }
 
 bool

@@ -39,16 +39,53 @@ class Cache
     unsigned lineBytes() const { return geometry_.lineBytes; }
 
     /**
-     * Probe for `addr`; on hit, refresh LRU state.
+     * Probe for `addr`; on hit, refresh LRU state. Inline: runs up to
+     * three times (L1/L2/LLC) per guest memory op.
      * @return true on hit.
      */
-    bool access(sim::Addr addr);
+    bool
+    access(sim::Addr addr)
+    {
+        const std::uint64_t line = lineOf(addr);
+        const unsigned set = setOf(line);
+        auto *base =
+            &lines_[static_cast<std::size_t>(set) * geometry_.ways];
+        // MRU way first: repeated touches to the hot line need no LRU
+        // shuffle at all, and this is the overwhelmingly common case.
+        if (base[0] == line) {
+            ++hits_;
+            return true;
+        }
+        for (unsigned i = 1; i < geometry_.ways; ++i) {
+            if (base[i] == line) {
+                // Move to MRU position.
+                for (unsigned j = i; j > 0; --j)
+                    base[j] = base[j - 1];
+                base[0] = line;
+                ++hits_;
+                return true;
+            }
+        }
+        ++misses_;
+        return false;
+    }
 
     /**
      * Install the line containing `addr` (after a miss), evicting the
      * LRU way when the set is full.
      */
-    void fill(sim::Addr addr);
+    void
+    fill(sim::Addr addr)
+    {
+        const std::uint64_t line = lineOf(addr);
+        const unsigned set = setOf(line);
+        auto *base =
+            &lines_[static_cast<std::size_t>(set) * geometry_.ways];
+        // Shift everything down one way; LRU falls off the end.
+        for (unsigned j = geometry_.ways - 1; j > 0; --j)
+            base[j] = base[j - 1];
+        base[0] = line;
+    }
 
     /** Probe without changing replacement state (tests/inspection). */
     bool contains(sim::Addr addr) const;
@@ -60,12 +97,21 @@ class Cache
     std::uint64_t misses() const { return misses_; }
 
   private:
-    std::uint64_t lineOf(sim::Addr addr) const;
-    unsigned setOf(std::uint64_t line) const;
+    std::uint64_t lineOf(sim::Addr addr) const
+    {
+        return addr >> lineShift_;
+    }
+
+    unsigned setOf(std::uint64_t line) const
+    {
+        return static_cast<unsigned>(line & (numSets_ - 1));
+    }
 
     std::string name_;
     CacheGeometry geometry_;
     unsigned numSets_;
+    /** log2(lineBytes): line extraction is a shift, not a division. */
+    unsigned lineShift_;
     /**
      * ways_[set * ways + i] holds line numbers in LRU order (index 0
      * is most recent); emptyLine marks an invalid way.

@@ -40,36 +40,35 @@ CacheHierarchy::dtlb(sim::CoreId core)
     return *dtlb_[core];
 }
 
-sim::MemAccessResult
+sim::Tick
 CacheHierarchy::access(sim::CoreId core, sim::Addr addr, bool write,
-                       bool atomic)
+                       bool atomic, sim::EventDeltas &deltas)
 {
     panic_if(core >= l1d_.size(), "bad core id ", core);
-    sim::MemAccessResult r;
-    r.latency = 0;
+    sim::Tick latency = 0;
 
     // Address translation first.
     Tlb &tlb = *dtlb_[core];
     if (!tlb.access(addr)) {
         tlb.fill(addr);
-        r.latency += config_.tlbMissPenalty;
-        r.deltas[sim::EventType::DTlbMiss] += 1;
+        latency += config_.tlbMissPenalty;
+        deltas[sim::EventType::DTlbMiss] += 1;
     }
 
     // Data lookup: L1 -> L2 -> LLC -> memory; fill on the way back.
     if (l1d_[core]->access(addr)) {
-        r.latency += config_.l1Latency;
+        latency += config_.l1Latency;
     } else {
-        r.deltas[sim::EventType::L1DMiss] += 1;
+        deltas[sim::EventType::L1DMiss] += 1;
         if (l2_[core]->access(addr)) {
-            r.latency += config_.l2Latency;
+            latency += config_.l2Latency;
         } else {
-            r.deltas[sim::EventType::L2Miss] += 1;
+            deltas[sim::EventType::L2Miss] += 1;
             if (llc_->access(addr)) {
-                r.latency += config_.llcLatency;
+                latency += config_.llcLatency;
             } else {
-                r.deltas[sim::EventType::LLCMiss] += 1;
-                r.latency += config_.memLatency;
+                deltas[sim::EventType::LLCMiss] += 1;
+                latency += config_.memLatency;
                 llc_->fill(addr);
             }
             l2_[core]->fill(addr);
@@ -92,14 +91,14 @@ CacheHierarchy::access(sim::CoreId core, sim::Addr addr, bool write,
         auto it = lastAtomicWriter_.find(line);
         const bool remote =
             it != lastAtomicWriter_.end() && it->second != core;
-        r.latency += remote ? config_.atomicRemoteExtra
-                            : config_.atomicLocalExtra;
+        latency += remote ? config_.atomicRemoteExtra
+                          : config_.atomicLocalExtra;
         if (write)
             lastAtomicWriter_[line] = core;
     }
 
     (void)write;
-    return r;
+    return latency;
 }
 
 void

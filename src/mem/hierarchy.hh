@@ -54,8 +54,10 @@ class CacheHierarchy : public sim::MemoryIf
   public:
     CacheHierarchy(unsigned num_cores, const HierarchyConfig &config);
 
-    sim::MemAccessResult access(sim::CoreId core, sim::Addr addr,
-                                bool write, bool atomic) override;
+    using sim::MemoryIf::access;
+
+    sim::Tick access(sim::CoreId core, sim::Addr addr, bool write,
+                     bool atomic, sim::EventDeltas &deltas) override;
 
     const HierarchyConfig &config() const { return config_; }
     Cache &l1d(sim::CoreId core);

@@ -13,20 +13,10 @@ Tlb::Tlb(const TlbGeometry &geometry) : geometry_(geometry)
                  !std::has_single_bit(
                      static_cast<std::uint64_t>(geometry.pageBytes)),
              "TLB page size must be a power of two");
-}
-
-bool
-Tlb::access(sim::Addr addr)
-{
-    const std::uint64_t page = pageOf(addr);
-    auto it = where_.find(page);
-    if (it == where_.end()) {
-        ++misses_;
-        return false;
-    }
-    lru_.splice(lru_.begin(), lru_, it->second);
-    ++hits_;
-    return true;
+    pageShift_ = static_cast<unsigned>(std::countr_zero(
+        static_cast<std::uint64_t>(geometry.pageBytes)));
+    slots_.reserve(geometry.entries);
+    where_.reserve(geometry.entries);
 }
 
 void
@@ -35,19 +25,33 @@ Tlb::fill(sim::Addr addr)
     const std::uint64_t page = pageOf(addr);
     if (where_.contains(page))
         return;
-    if (lru_.size() >= geometry_.entries) {
-        where_.erase(lru_.back());
-        lru_.pop_back();
+    unsigned slot;
+    if (slots_.size() < geometry_.entries) {
+        slot = static_cast<unsigned>(slots_.size());
+        slots_.push_back({page, 0});
+    } else {
+        // Evict the least recently used slot (minimum stamp).
+        slot = 0;
+        for (unsigned i = 1; i < slots_.size(); ++i) {
+            if (slots_[i].stamp < slots_[slot].stamp)
+                slot = i;
+        }
+        if (slots_[slot].page == lastPage_)
+            lastPage_ = noPage;
+        where_.erase(slots_[slot].page);
+        slots_[slot].page = page;
     }
-    lru_.push_front(page);
-    where_[page] = lru_.begin();
+    slots_[slot].stamp = ++clock_;
+    where_[page] = slot;
 }
 
 void
 Tlb::flush()
 {
-    lru_.clear();
+    slots_.clear();
     where_.clear();
+    lastPage_ = noPage;
+    clock_ = 0;
 }
 
 } // namespace limit::mem

@@ -7,8 +7,8 @@
 #define LIMIT_MEM_TLB_HH
 
 #include <cstdint>
-#include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -21,14 +21,44 @@ struct TlbGeometry
     unsigned pageBytes = 4096;
 };
 
-/** Fully associative, true-LRU TLB. */
+/**
+ * Fully associative, true-LRU TLB.
+ *
+ * Recency is tracked with a monotonic stamp per slot instead of a
+ * linked LRU list: a hit is one hash lookup plus a stamp store, and
+ * the O(entries) least-recently-used scan is paid only on refills.
+ * A one-entry most-recent-page filter short-circuits the hash lookup
+ * on same-page runs (the common case for streaming accesses). Both
+ * are pure representation changes: the hit/miss/eviction sequence is
+ * identical to the linked-list implementation.
+ */
 class Tlb
 {
   public:
     explicit Tlb(const TlbGeometry &geometry);
 
-    /** Probe (and on hit refresh) the page containing `addr`. */
-    bool access(sim::Addr addr);
+    /** Probe (and on hit refresh) the page containing `addr`. Inline:
+     *  runs once per guest memory op. */
+    bool
+    access(sim::Addr addr)
+    {
+        const std::uint64_t page = pageOf(addr);
+        if (page == lastPage_) {
+            slots_[lastSlot_].stamp = ++clock_;
+            ++hits_;
+            return true;
+        }
+        auto it = where_.find(page);
+        if (it == where_.end()) {
+            ++misses_;
+            return false;
+        }
+        slots_[it->second].stamp = ++clock_;
+        lastPage_ = page;
+        lastSlot_ = it->second;
+        ++hits_;
+        return true;
+    }
 
     /** Install the page containing `addr`, evicting LRU if needed. */
     void fill(sim::Addr addr);
@@ -42,14 +72,25 @@ class Tlb
   private:
     std::uint64_t pageOf(sim::Addr addr) const
     {
-        return addr / geometry_.pageBytes;
+        return addr >> pageShift_;
     }
 
+    static constexpr std::uint64_t noPage = ~0ull;
+
+    struct Slot
+    {
+        std::uint64_t page;
+        std::uint64_t stamp;
+    };
+
     TlbGeometry geometry_;
-    /** LRU list front = MRU; map page -> list node. */
-    std::list<std::uint64_t> lru_;
-    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
-        where_;
+    unsigned pageShift_;
+    std::vector<Slot> slots_;
+    std::unordered_map<std::uint64_t, unsigned> where_;
+    std::uint64_t clock_ = 0;
+    /** Most-recently-touched page and its slot (noPage = invalid). */
+    std::uint64_t lastPage_ = noPage;
+    unsigned lastSlot_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

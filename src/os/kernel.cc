@@ -283,9 +283,10 @@ Kernel::threadExited(sim::Cpu &cpu, sim::GuestContext &ctx)
         installThread(cpu, *next);
 }
 
-void
+bool
 Kernel::poll(sim::Tick now)
 {
+    bool woke = false;
     while (!sleepers_.empty()) {
         const auto [wake_at, tid] = sleepers_.top();
         Thread &t = thread(tid);
@@ -298,13 +299,20 @@ Kernel::poll(sim::Tick now)
             // machine loop re-polls with real time afterwards.
             sleepers_.pop();
             wakeThread(t, wake_at, 0);
-            return;
+            woke = true;
+            break;
         }
         if (wake_at > now)
-            return;
+            break;
         sleepers_.pop();
         wakeThread(t, wake_at, 0);
+        woke = true;
     }
+    // Tell the run loop when the next poll can matter. A stale heap
+    // top only makes the hint conservative (an early, no-op poll).
+    machine_.setNextPoll(sleepers_.empty() ? sim::maxTick
+                                           : sleepers_.top().first);
+    return woke;
 }
 
 // ---------------------------------------------------------------------
@@ -411,6 +419,7 @@ Kernel::sysSleepImpl(sim::Cpu &cpu, Thread &t, sim::Tick duration,
     cpu.kernelWork(cost);
     t.wakeTick = cpu.now() + duration;
     sleepers_.emplace(t.wakeTick, t.ctx.tid());
+    machine_.setNextPoll(sleepers_.top().first);
     deschedule(cpu, t, ThreadState::Sleeping, /*voluntary=*/true);
     Thread *next = pickNext(cpu.id());
     if (next)

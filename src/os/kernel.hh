@@ -104,7 +104,7 @@ class Kernel : public sim::KernelIf
     void pmuOverflow(sim::Cpu &cpu, unsigned counter,
                      std::uint32_t wraps) override;
     void threadExited(sim::Cpu &cpu, sim::GuestContext &ctx) override;
-    void poll(sim::Tick now) override;
+    bool poll(sim::Tick now) override;
     bool allThreadsDone() const override { return liveThreads_ == 0; }
     std::string blockedReport() const override;
     /** @} */

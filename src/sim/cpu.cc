@@ -52,7 +52,11 @@ Cpu::step()
 void
 Cpu::executeOp(GuestContext &ctx)
 {
-    const PendingOp op = ctx.op; // copy: handlers may clobber ctx.op
+    // No copy: ctx.op is stable for the whole handler — guest
+    // coroutines (the only writers) never resume inside one. Handlers
+    // that re-enter the kernel before their last read of an op field
+    // still take scalar copies of what they need up front.
+    const PendingOp &op = ctx.op;
 
     switch (op.kind) {
       case OpKind::Compute:
@@ -99,18 +103,33 @@ Cpu::execCompute(GuestContext &ctx, const PendingOp &op)
 
     // Deterministic fractional-event accounting: carry residues so
     // that long-run branch counts match instrs * branchFrac exactly.
-    double branches_f =
-        static_cast<double>(instrs) * p.branchFrac + ctx.branchResidue;
-    auto branches = static_cast<std::uint64_t>(branches_f);
-    ctx.branchResidue = branches_f - static_cast<double>(branches);
+    // The zero-rate cases reduce to exact identities (the residue is
+    // always < 1, so the truncated count is 0 and the residue is
+    // unchanged); skip the floating-point work on those paths.
+    std::uint64_t branches = 0;
+    if (p.branchFrac != 0.0) {
+        const double branches_f = static_cast<double>(instrs) *
+                                      p.branchFrac +
+                                  ctx.branchResidue;
+        branches = static_cast<std::uint64_t>(branches_f);
+        ctx.branchResidue = branches_f - static_cast<double>(branches);
+    }
 
-    double miss_f = static_cast<double>(branches) * p.mispredictRate +
-                    ctx.mispredictResidue;
-    auto misses = static_cast<std::uint64_t>(miss_f);
-    ctx.mispredictResidue = miss_f - static_cast<double>(misses);
+    std::uint64_t misses = 0;
+    if (branches != 0 && p.mispredictRate != 0.0) {
+        const double miss_f = static_cast<double>(branches) *
+                                  p.mispredictRate +
+                              ctx.mispredictResidue;
+        misses = static_cast<std::uint64_t>(miss_f);
+        ctx.mispredictResidue = miss_f - static_cast<double>(misses);
+    }
 
-    const Tick base =
-        static_cast<Tick>(std::ceil(static_cast<double>(instrs) * p.cpi));
+    // cpi == 1.0 is exact in integers (instrs < 2^53 in any feasible
+    // run, so the double round-trip below would be lossless anyway).
+    const Tick base = p.cpi == 1.0
+        ? instrs
+        : static_cast<Tick>(
+              std::ceil(static_cast<double>(instrs) * p.cpi));
     const Tick duration = base + misses * costs_.mispredictPenalty;
 
     EventDeltas d;
@@ -127,15 +146,15 @@ void
 Cpu::execMemory(GuestContext &ctx, const PendingOp &op)
 {
     const bool write = op.kind == OpKind::Store;
-    MemAccessResult r =
-        machine_.memory()->access(id_, op.addr, write, false);
+    EventDeltas d;
+    const Tick latency =
+        machine_.memory()->access(id_, op.addr, write, false, d);
 
-    EventDeltas d = r.deltas;
-    d[EventType::Cycles] += r.latency;
+    d[EventType::Cycles] += latency;
     d[EventType::Instructions] += 1;
     d[write ? EventType::Stores : EventType::Loads] += 1;
     applyEvents(PrivMode::User, d);
-    now_ += r.latency;
+    now_ += latency;
     ctx.result = 0;
 }
 
@@ -143,11 +162,11 @@ void
 Cpu::execAtomic(GuestContext &ctx, const PendingOp &op)
 {
     panic_if(op.word == nullptr, "atomic op without host storage");
-    MemAccessResult r = machine_.memory()->access(id_, op.addr,
-                                                  /*write=*/true,
-                                                  /*atomic=*/true);
-    EventDeltas d = r.deltas;
-    d[EventType::Cycles] += r.latency;
+    EventDeltas d;
+    const Tick latency = machine_.memory()->access(id_, op.addr,
+                                                   /*write=*/true,
+                                                   /*atomic=*/true, d);
+    d[EventType::Cycles] += latency;
     d[EventType::Instructions] += 1;
     d[EventType::Loads] += 1;
 
@@ -188,15 +207,17 @@ Cpu::execAtomic(GuestContext &ctx, const PendingOp &op)
     }
 
     applyEvents(PrivMode::User, d);
-    now_ += r.latency;
+    now_ += latency;
     ctx.result = result;
 }
 
 void
 Cpu::execPmcRead(GuestContext &ctx, const PendingOp &op)
 {
-    fatal_if(op.counter >= pmu_.numCounters(),
-             "rdpmc of nonexistent counter ", op.counter);
+    const unsigned counter = op.counter;
+    const bool clear = op.kind == OpKind::PmcReadClear;
+    fatal_if(counter >= pmu_.numCounters(),
+             "rdpmc of nonexistent counter ", counter);
 
     // Charge the read cost *before* sampling the counter value: the
     // value architecturally reflects the moment the rdpmc retires, so
@@ -214,14 +235,15 @@ Cpu::execPmcRead(GuestContext &ctx, const PendingOp &op)
     // is observed, mirroring a PMI that hits during the instruction.
     drainOverflows();
 
-    ctx.result = op.kind == OpKind::PmcReadClear
-        ? pmu_.readAndClear(op.counter)
-        : pmu_.read(op.counter);
+    ctx.result = clear ? pmu_.readAndClear(counter) : pmu_.read(counter);
 }
 
 void
 Cpu::execSyscall(GuestContext &ctx, const PendingOp &op)
 {
+    const std::uint32_t nr = op.sysNr;
+    const std::array<std::uint64_t, 4> args = op.sysArgs;
+
     // The syscall instruction itself.
     EventDeltas d;
     d[EventType::Cycles] = 2;
@@ -234,8 +256,7 @@ Cpu::execSyscall(GuestContext &ctx, const PendingOp &op)
     // blocks it and switches away (see DESIGN.md).
     kernelWork(costs_.trapEntryCost + costs_.trapExitCost);
 
-    SyscallOutcome out =
-        machine_.kernel()->syscall(*this, ctx, op.sysNr, op.sysArgs);
+    SyscallOutcome out = machine_.kernel()->syscall(*this, ctx, nr, args);
     if (!out.blocked)
         ctx.result = out.value;
 }
@@ -281,21 +302,7 @@ Cpu::kernelWork(Tick cycles)
 }
 
 void
-Cpu::applyEvents(PrivMode mode, const EventDeltas &deltas)
-{
-    if (current_)
-        current_->ledger().apply(mode, deltas);
-    OverflowSet ov = pmu_.apply(mode, deltas);
-    if (!ov.any)
-        return;
-    for (unsigned i = 0; i < pmu_.numCounters(); ++i) {
-        if (ov.wraps[i] && pmu_.config(i).interruptOnOverflow)
-            pendingPmis_.push_back({i, ov.wraps[i]});
-    }
-}
-
-void
-Cpu::drainOverflows()
+Cpu::drainOverflowsSlow()
 {
     if (draining_)
         return; // the outer drain loop will pick up new PMIs

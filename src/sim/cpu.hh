@@ -69,13 +69,32 @@ class Cpu
     /**
      * Apply event deltas in `mode` to the current thread's ledger and
      * the PMU; queues PMIs for overflowed interrupt-enabled counters.
+     * Inline: runs once per guest op.
      */
-    void applyEvents(PrivMode mode, const EventDeltas &deltas);
+    void
+    applyEvents(PrivMode mode, const EventDeltas &deltas)
+    {
+        if (current_)
+            current_->ledger().apply(mode, deltas);
+        WrapEvent ev[maxPmuCounters];
+        const unsigned wrapped = pmu_.applyFast(mode, deltas, ev);
+        for (unsigned k = 0; k < wrapped; ++k) {
+            if (pmu_.config(ev[k].counter).interruptOnOverflow)
+                pendingPmis_.push_back({ev[k].counter, ev[k].wraps});
+        }
+    }
 
     /** Deliver queued PMIs (with a storm guard). */
-    void drainOverflows();
+    void
+    drainOverflows()
+    {
+        if (pendingPmis_.empty())
+            return;
+        drainOverflowsSlow();
+    }
 
   private:
+    void drainOverflowsSlow();
     void executeOp(GuestContext &ctx);
     void execCompute(GuestContext &ctx, const PendingOp &op);
     void execMemory(GuestContext &ctx, const PendingOp &op);

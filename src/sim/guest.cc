@@ -24,18 +24,6 @@ GuestContext::start(std::function<Task<void>(Guest &)> body)
     started_ = true;
 }
 
-std::coroutine_handle<>
-GuestContext::resumeHandle()
-{
-    panic_if(!started_, "resuming a thread that was never started");
-    if (resumePoint) {
-        auto h = resumePoint;
-        resumePoint = nullptr;
-        return h;
-    }
-    return body_.handle();
-}
-
 bool
 Guest::shouldStop() const
 {

@@ -105,7 +105,17 @@ class GuestContext
     }
 
     /** @name Cpu-facing execution state @{ */
-    std::coroutine_handle<> resumeHandle();
+    std::coroutine_handle<>
+    resumeHandle()
+    {
+        panic_if(!started_, "resuming a thread that was never started");
+        if (resumePoint) {
+            const auto h = resumePoint;
+            resumePoint = nullptr;
+            return h;
+        }
+        return body_.handle();
+    }
     bool hasOp = false;
     PendingOp op{};
     std::uint64_t result = 0;
@@ -151,18 +161,26 @@ class GuestContext
     bool started_ = false;
 };
 
-/** Awaiter for a primitive guest op. */
+/**
+ * Awaiter for a primitive guest op.
+ *
+ * The issuing Guest method has already written the op's fields into
+ * ctx->op by the time the awaiter exists (each method sets every field
+ * its op kind consumes, so stale fields from earlier ops are never
+ * observed), keeping the per-op issue path free of PendingOp copies.
+ * Must be awaited immediately — issuing a second op before awaiting
+ * the first would overwrite its operands.
+ */
 class [[nodiscard]] OpAwaiter
 {
   public:
-    OpAwaiter(GuestContext &ctx, PendingOp op) : ctx_(&ctx), op_(op) {}
+    explicit OpAwaiter(GuestContext &ctx) : ctx_(&ctx) {}
 
     bool await_ready() const noexcept { return false; }
 
     void
     await_suspend(std::coroutine_handle<> h) noexcept
     {
-        ctx_->op = op_;
         ctx_->hasOp = true;
         ctx_->resumePoint = h;
     }
@@ -171,7 +189,6 @@ class [[nodiscard]] OpAwaiter
 
   private:
     GuestContext *ctx_;
-    PendingOp op_;
 };
 
 /**
@@ -189,42 +206,42 @@ class Guest
     OpAwaiter
     compute(std::uint64_t instrs)
     {
-        PendingOp op;
+        PendingOp &op = ctx_->op;
         op.kind = OpKind::Compute;
         op.instrs = instrs;
         op.profile = ctx_->defaultProfile;
-        return {*ctx_, op};
+        return OpAwaiter{*ctx_};
     }
 
     /** Execute `instrs` instructions with an explicit branch profile. */
     OpAwaiter
     compute(std::uint64_t instrs, const ComputeProfile &profile)
     {
-        PendingOp op;
+        PendingOp &op = ctx_->op;
         op.kind = OpKind::Compute;
         op.instrs = instrs;
         op.profile = profile;
-        return {*ctx_, op};
+        return OpAwaiter{*ctx_};
     }
 
     /** One load from the simulated address `addr`. */
     OpAwaiter
     load(Addr addr)
     {
-        PendingOp op;
+        PendingOp &op = ctx_->op;
         op.kind = OpKind::Load;
         op.addr = addr;
-        return {*ctx_, op};
+        return OpAwaiter{*ctx_};
     }
 
     /** One store to the simulated address `addr`. */
     OpAwaiter
     store(Addr addr)
     {
-        PendingOp op;
+        PendingOp &op = ctx_->op;
         op.kind = OpKind::Store;
         op.addr = addr;
-        return {*ctx_, op};
+        return OpAwaiter{*ctx_};
     }
 
     /**
@@ -236,110 +253,109 @@ class Guest
     atomicCas(std::uint64_t *word, Addr addr, std::uint64_t expected,
               std::uint64_t desired)
     {
-        PendingOp op;
+        PendingOp &op = ctx_->op;
         op.kind = OpKind::AtomicCas;
         op.word = word;
         op.addr = addr;
         op.a = expected;
         op.b = desired;
-        return {*ctx_, op};
+        return OpAwaiter{*ctx_};
     }
 
     /** Fetch-and-add `delta`; returns the previous value. */
     OpAwaiter
     atomicFetchAdd(std::uint64_t *word, Addr addr, std::uint64_t delta)
     {
-        PendingOp op;
+        PendingOp &op = ctx_->op;
         op.kind = OpKind::AtomicFetchAdd;
         op.word = word;
         op.addr = addr;
         op.a = delta;
-        return {*ctx_, op};
+        return OpAwaiter{*ctx_};
     }
 
     /** Atomic swap of `value` into *word; returns the previous value. */
     OpAwaiter
     atomicExchange(std::uint64_t *word, Addr addr, std::uint64_t value)
     {
-        PendingOp op;
+        PendingOp &op = ctx_->op;
         op.kind = OpKind::AtomicExchange;
         op.word = word;
         op.addr = addr;
         op.a = value;
-        return {*ctx_, op};
+        return OpAwaiter{*ctx_};
     }
 
     /** Acquire load; returns the value. */
     OpAwaiter
     atomicLoad(std::uint64_t *word, Addr addr)
     {
-        PendingOp op;
+        PendingOp &op = ctx_->op;
         op.kind = OpKind::AtomicLoad;
         op.word = word;
         op.addr = addr;
-        return {*ctx_, op};
+        return OpAwaiter{*ctx_};
     }
 
     /** Release store of `value`. */
     OpAwaiter
     atomicStore(std::uint64_t *word, Addr addr, std::uint64_t value)
     {
-        PendingOp op;
+        PendingOp &op = ctx_->op;
         op.kind = OpKind::AtomicStore;
         op.word = word;
         op.addr = addr;
         op.a = value;
-        return {*ctx_, op};
+        return OpAwaiter{*ctx_};
     }
 
     /** rdpmc-style userspace read of hardware counter `idx`. */
     OpAwaiter
     pmcRead(unsigned idx)
     {
-        PendingOp op;
+        PendingOp &op = ctx_->op;
         op.kind = OpKind::PmcRead;
         op.counter = idx;
-        return {*ctx_, op};
+        return OpAwaiter{*ctx_};
     }
 
     /** Destructive read-and-clear of counter `idx` (enhancement #2). */
     OpAwaiter
     pmcReadClear(unsigned idx)
     {
-        PendingOp op;
+        PendingOp &op = ctx_->op;
         op.kind = OpKind::PmcReadClear;
         op.counter = idx;
-        return {*ctx_, op};
+        return OpAwaiter{*ctx_};
     }
 
     /** Trap into the kernel. */
     OpAwaiter
     syscall(std::uint32_t nr, std::array<std::uint64_t, 4> args = {})
     {
-        PendingOp op;
+        PendingOp &op = ctx_->op;
         op.kind = OpKind::Syscall;
         op.sysNr = nr;
         op.sysArgs = args;
-        return {*ctx_, op};
+        return OpAwaiter{*ctx_};
     }
 
     /** Push attribution region `region` (see Machine::regions()). */
     OpAwaiter
     regionEnter(RegionId region)
     {
-        PendingOp op;
+        PendingOp &op = ctx_->op;
         op.kind = OpKind::RegionEnter;
         op.region = region;
-        return {*ctx_, op};
+        return OpAwaiter{*ctx_};
     }
 
     /** Pop the current attribution region. */
     OpAwaiter
     regionExit()
     {
-        PendingOp op;
-        op.kind = OpKind::RegionExit;
-        return {*ctx_, op};
+        ctx_->op.kind = OpKind::RegionExit;
+        return OpAwaiter{*ctx_};
     }
 
     /** @name Host-side (zero-cost) helpers @{ */

@@ -63,8 +63,10 @@ class KernelIf
      * maxTick when every core is idle (in which case the kernel should
      * wake the earliest sleeper unconditionally, fast-forwarding an
      * idle core's clock).
+     * @return true when at least one thread was woken (the machine
+     *         loop re-derives the earliest busy core only then).
      */
-    virtual void poll(Tick now) = 0;
+    virtual bool poll(Tick now) = 0;
 
     /** True when no live (runnable or blocked) threads remain. */
     virtual bool allThreadsDone() const = 0;

@@ -43,23 +43,31 @@ Tick
 Machine::run()
 {
     panic_if(!kernel_, "Machine::run without a kernel");
-    for (;;) {
-        auto earliest_busy = [&]() -> Cpu * {
-            Cpu *best = nullptr;
-            for (auto &cpu : cpus_) {
-                if (cpu->idle())
-                    continue;
-                if (!best || cpu->now() < best->now())
-                    best = cpu.get();
-            }
-            return best;
-        };
+    auto earliest_busy = [this]() -> Cpu * {
+        Cpu *best = nullptr;
+        for (auto &cpu : cpus_) {
+            if (cpu->idle())
+                continue;
+            if (!best || cpu->now() < best->now())
+                best = cpu.get();
+        }
+        return best;
+    };
 
+    for (;;) {
         Cpu *best = earliest_busy();
         // Let timed sleepers whose deadline has passed (relative to
         // global time = the earliest busy core) wake onto idle cores.
-        kernel_->poll(best ? best->now() : maxTick);
-        best = earliest_busy();
+        // A wake can install a thread on an idle core with an earlier
+        // clock, so the earliest core is re-derived only in that case.
+        // The kernel's setNextPoll hint elides the poll call entirely
+        // while no sleeper deadline is in range (the common case).
+        const Tick now = best ? best->now() : maxTick;
+        if (now >= nextPollAt_) {
+            nextPollAt_ = 0; // conservative unless the kernel re-arms
+            if (kernel_->poll(now))
+                best = earliest_busy();
+        }
         if (!best) {
             if (!kernel_->allThreadsDone()) {
                 panic("deadlock: live threads but no runnable core\n",

@@ -76,6 +76,14 @@ class Machine
     }
 
     /**
+     * Kernel hint: no timed wake can happen before tick `t`, so the
+     * run loop may skip poll() until then. The hint is cleared (reset
+     * to "poll every step") right before each poll() call, so a kernel
+     * that never re-arms it keeps the conservative behaviour.
+     */
+    void setNextPoll(Tick t) { nextPollAt_ = t; }
+
+    /**
      * Run until every thread has exited. Panics on deadlock (live
      * threads but nothing runnable) or when a core passes the
      * configured hard limit.
@@ -94,6 +102,7 @@ class Machine
     KernelIf *kernel_ = nullptr;
     RegionTable regions_;
     Tick stopAt_ = 0;
+    Tick nextPollAt_ = 0;
 };
 
 } // namespace limit::sim

@@ -24,14 +24,26 @@ class MemoryIf
     virtual ~MemoryIf() = default;
 
     /**
-     * Access one word.
+     * Access one word (hot path): accumulate miss events into
+     * `deltas` and return the access latency. The CPU calls this once
+     * per load/store/atomic, so implementations should not allocate.
      * @param core   issuing core (selects private caches)
      * @param addr   virtual address
      * @param write  store vs. load
      * @param atomic locked RMW access (coherence cost may differ)
+     * @param deltas event deltas accumulated into (not cleared first)
      */
-    virtual MemAccessResult access(CoreId core, Addr addr, bool write,
-                                   bool atomic) = 0;
+    virtual Tick access(CoreId core, Addr addr, bool write, bool atomic,
+                        EventDeltas &deltas) = 0;
+
+    /** Convenience form returning a fresh result (tests, inspection). */
+    MemAccessResult
+    access(CoreId core, Addr addr, bool write, bool atomic)
+    {
+        MemAccessResult r;
+        r.latency = access(core, addr, write, atomic, r.deltas);
+        return r;
+    }
 };
 
 /** Trivial fixed-latency memory used when no hierarchy is attached. */
@@ -40,12 +52,12 @@ class FlatMemory : public MemoryIf
   public:
     explicit FlatMemory(Tick latency = 4) : latency_(latency) {}
 
-    MemAccessResult
-    access(CoreId, Addr, bool, bool atomic) override
+    using MemoryIf::access;
+
+    Tick
+    access(CoreId, Addr, bool, bool atomic, EventDeltas &) override
     {
-        MemAccessResult r;
-        r.latency = latency_ + (atomic ? atomicExtra_ : 0);
-        return r;
+        return latency_ + (atomic ? atomicExtra_ : 0);
     }
 
   private:

@@ -22,6 +22,25 @@ Pmu::configure(unsigned idx, const CounterConfig &cfg)
              " out of range");
     configs_[idx] = cfg;
     values_[idx] = 0;
+    rebuildActive();
+}
+
+void
+Pmu::rebuildActive()
+{
+    for (unsigned m = 0; m < 2; ++m) {
+        activeCount_[m] = 0;
+        for (unsigned i = 0; i < numCounters_; ++i) {
+            const CounterConfig &cfg = configs_[i];
+            if (!cfg.enabled)
+                continue;
+            if (m == 0 ? !cfg.countUser : !cfg.countKernel)
+                continue;
+            active_[m][activeCount_[m]++] = {
+                static_cast<std::uint8_t>(i),
+                static_cast<std::uint8_t>(cfg.event)};
+        }
+    }
 }
 
 const CounterConfig &
@@ -66,39 +85,18 @@ Pmu::setEnabled(unsigned idx, bool enabled)
     panic_if(idx >= numCounters_, "PMU counter index ", idx,
              " out of range");
     configs_[idx].enabled = enabled;
+    rebuildActive();
 }
 
 OverflowSet
 Pmu::apply(PrivMode mode, const EventDeltas &deltas)
 {
+    WrapEvent ev[maxPmuCounters];
+    const unsigned n = applyFast(mode, deltas, ev);
     OverflowSet out;
-    const bool kernel = mode == PrivMode::Kernel;
-    for (unsigned i = 0; i < numCounters_; ++i) {
-        const CounterConfig &cfg = configs_[i];
-        if (!cfg.enabled)
-            continue;
-        if (kernel ? !cfg.countKernel : !cfg.countUser)
-            continue;
-        const std::uint64_t delta = deltas[cfg.event];
-        if (delta == 0)
-            continue;
-
-        if (features_.counterWidth >= 64) {
-            // 64-bit counters: wraps are possible in principle but
-            // unreachable in any feasible simulation; plain add.
-            values_[i] += delta;
-            continue;
-        }
-
-        const unsigned __int128 sum =
-            static_cast<unsigned __int128>(values_[i]) + delta;
-        const std::uint64_t modulus = wrapModulus();
-        const auto wraps = static_cast<std::uint32_t>(sum / modulus);
-        values_[i] = static_cast<std::uint64_t>(sum % modulus);
-        if (wraps > 0) {
-            out.wraps[i] = wraps;
-            out.any = true;
-        }
+    for (unsigned k = 0; k < n; ++k) {
+        out.wraps[ev[k].counter] = ev[k].wraps;
+        out.any = true;
     }
     return out;
 }

@@ -60,6 +60,13 @@ struct OverflowSet
     bool any = false;
 };
 
+/** One counter's wrap report from the allocation-free apply path. */
+struct WrapEvent
+{
+    std::uint8_t counter;
+    std::uint32_t wraps;
+};
+
 /** One core's PMU. */
 class Pmu
 {
@@ -97,6 +104,53 @@ class Pmu
      */
     OverflowSet apply(PrivMode mode, const EventDeltas &deltas);
 
+    /**
+     * Hot-path apply: identical counting semantics to apply(), but
+     * iterates only the counters active in `mode` (precomputed when
+     * counters are (re)programmed) and reports wraps into `out`
+     * without zero-initializing anything. Defined inline: it runs
+     * once per guest op.
+     * @return number of entries written to `out`.
+     */
+    unsigned
+    applyFast(PrivMode mode, const EventDeltas &deltas,
+              WrapEvent (&out)[maxPmuCounters])
+    {
+        const unsigned m = static_cast<unsigned>(mode);
+        const unsigned n = activeCount_[m];
+        if (n == 0)
+            return 0;
+
+        unsigned wrapped = 0;
+        const unsigned width = features_.counterWidth;
+        if (width >= 64) {
+            // 64-bit counters: wraps are possible in principle but
+            // unreachable in any feasible simulation; plain add.
+            for (unsigned k = 0; k < n; ++k) {
+                const ActiveCounter ac = active_[m][k];
+                values_[ac.idx] += deltas.counts[ac.event];
+            }
+            return 0;
+        }
+
+        // The modulus is a power of two, so wrap count and remainder
+        // are a shift and a mask — no 128-bit division per op.
+        const std::uint64_t mask = valueMask();
+        for (unsigned k = 0; k < n; ++k) {
+            const ActiveCounter ac = active_[m][k];
+            const std::uint64_t delta = deltas.counts[ac.event];
+            if (delta == 0)
+                continue;
+            const unsigned __int128 sum =
+                static_cast<unsigned __int128>(values_[ac.idx]) + delta;
+            values_[ac.idx] = static_cast<std::uint64_t>(sum) & mask;
+            const auto wraps = static_cast<std::uint32_t>(sum >> width);
+            if (wraps > 0)
+                out[wrapped++] = {ac.idx, wraps};
+        }
+        return wrapped;
+    }
+
     /** Value mask for the configured width. */
     std::uint64_t
     valueMask() const
@@ -116,10 +170,23 @@ class Pmu
     }
 
   private:
+    /** Rebuild the per-mode active-counter lists after reprogramming. */
+    void rebuildActive();
+
+    /** Compact (counter index, event index) pair for the hot loop. */
+    struct ActiveCounter
+    {
+        std::uint8_t idx;
+        std::uint8_t event;
+    };
+
     unsigned numCounters_;
     PmuFeatures features_;
     std::array<CounterConfig, maxPmuCounters> configs_{};
     std::array<std::uint64_t, maxPmuCounters> values_{};
+    /** Counters enabled for each privilege mode (index: PrivMode). */
+    std::array<ActiveCounter, maxPmuCounters> active_[2]{};
+    unsigned activeCount_[2] = {0, 0};
 };
 
 } // namespace limit::sim
