@@ -17,8 +17,8 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
-#include "baseline/readers.hh"
-#include "pec/pec.hh"
+#include "analysis/trace_report.hh"
+#include "baseline/source_set.hh"
 #include "stats/table.hh"
 
 namespace {
@@ -27,7 +27,7 @@ using namespace limit;
 
 /** Average guest cost of one read, measured over many iterations. */
 sim::Tick
-measure(baseline::CounterReader &reader, analysis::SimBundle &bundle)
+measure(limit::CounterSource &reader, analysis::SimBundle &bundle)
 {
     constexpr int reps = 2000;
     sim::Tick total = 0;
@@ -50,54 +50,35 @@ measure(baseline::CounterReader &reader, analysis::SimBundle &bundle)
     return total / reps;
 }
 
-analysis::BundleOptions
-options(std::uint64_t seed)
-{
-    analysis::BundleOptions o;
-    o.cores = 1;
-    o.seed = 1 + seed;
-    return o;
-}
-
 struct Row
 {
     std::string method;
     sim::Tick cycles;
 };
 
-constexpr unsigned numMethods = 6;
-
-/** Measure method `m` (0-2 = PEC policies, then papi/perf/rusage). */
+/**
+ * Measure one access method from the standard roster. Every method
+ * goes through the same limit::CounterSource interface, so the bench
+ * body has no per-method branching — adding a source to
+ * baseline::standardSources() adds a table row here.
+ */
 Row
-runMethod(unsigned m, std::uint64_t seed)
+runMethod(const baseline::SourceSpec &spec, std::uint64_t seed,
+          const analysis::BenchArgs *trace = nullptr)
 {
-    analysis::SimBundle b(options(seed));
-    if (m < 3) {
-        constexpr pec::OverflowPolicy policies[3] = {
-            pec::OverflowPolicy::KernelFixup,
-            pec::OverflowPolicy::DoubleCheck,
-            pec::OverflowPolicy::NaiveSum};
-        pec::PecConfig pc;
-        pc.policy = policies[m];
-        pec::PecSession session(b.kernel(), pc);
-        session.addEvent(0, sim::EventType::Instructions);
-        baseline::PecReader reader(session);
-        return {reader.name(), measure(reader, b)};
-    }
-    if (m == 3) {
-        b.kernel().perf().setupCounting(0, sim::EventType::Instructions,
-                                        true, false);
-        baseline::PapiReader reader;
-        return {reader.name(), measure(reader, b)};
-    }
-    if (m == 4) {
-        b.kernel().perf().setupCounting(0, sim::EventType::Instructions,
-                                        true, false);
-        baseline::PerfSyscallReader reader;
-        return {reader.name(), measure(reader, b)};
-    }
-    baseline::RusageReader reader;
-    return {reader.name(), measure(reader, b)};
+    analysis::SimBundle b(
+        analysis::BundleOptions::builder()
+            .cores(1)
+            .seed(1 + seed)
+            .traceCapacity(trace ? trace->traceCap : 0)
+            .build());
+    baseline::SourceInstance inst =
+        spec.make(b.kernel(), 0, sim::EventType::Instructions, true,
+                  false);
+    Row row{inst.source->name(), measure(*inst.source, b)};
+    if (trace)
+        analysis::writeTraceReport(b, trace->trace);
+    return row;
 }
 
 } // namespace
@@ -112,10 +93,13 @@ main(int argc, char **argv)
         "simulation seeds averaged per method");
     limit::analysis::ParallelRunner pool(args.jobs);
 
+    const std::vector<limit::baseline::SourceSpec> methods =
+        limit::baseline::standardSources();
+    const unsigned numMethods = static_cast<unsigned>(methods.size());
+
     const std::vector<Row> raw = pool.map(
         numMethods * args.seeds, [&](std::size_t i) {
-            return runMethod(static_cast<unsigned>(i / args.seeds),
-                             i % args.seeds);
+            return runMethod(methods[i / args.seeds], i % args.seeds);
         });
     std::vector<Row> rows;
     for (unsigned m = 0; m < numMethods; ++m) {
@@ -145,5 +129,9 @@ main(int argc, char **argv)
                 "orders of magnitude).\n",
                 pec_ns, sim::ticksToNs(rows[3].cycles) / pec_ns,
                 sim::ticksToNs(rows[4].cycles) / pec_ns);
+
+    // Dedicated traced re-run of the headline method.
+    if (args.tracing())
+        runMethod(methods[0], 0, &args);
     return 0;
 }

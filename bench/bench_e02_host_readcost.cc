@@ -107,18 +107,37 @@ BENCHMARK(BM_proc_self_stat_read);
 
 } // namespace
 
-// Accept (and ignore) the suite-wide --seeds/--jobs flags so drivers
-// can pass a uniform command line to every bench; this one measures
-// real host hardware, so seeds and fan-out do not apply.
+// Accept (and ignore) the suite-wide --seeds/--jobs/--trace/
+// --trace-cap flags so drivers can pass a uniform command line to
+// every bench; this one measures real host hardware, so simulated
+// seeds, fan-out and tracing do not apply.
 int
 main(int argc, char **argv)
 {
+    const char *suite_flags[] = {"--seeds", "--jobs", "--trace",
+                                 "--trace-cap"};
+    auto is_suite_flag = [&](const char *arg, bool &has_inline_value) {
+        for (const char *flag : suite_flags) {
+            const std::size_t len = std::strlen(flag);
+            if (std::strncmp(arg, flag, len) != 0)
+                continue;
+            if (arg[len] == '=') {
+                has_inline_value = true;
+                return true;
+            }
+            if (arg[len] == '\0') {
+                has_inline_value = false;
+                return true;
+            }
+        }
+        return false;
+    };
     std::vector<char *> kept;
     kept.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--seeds") == 0 ||
-            std::strcmp(argv[i], "--jobs") == 0) {
-            if (i + 1 < argc)
+        bool has_inline_value = false;
+        if (is_suite_flag(argv[i], has_inline_value)) {
+            if (!has_inline_value && i + 1 < argc)
                 ++i; // skip the flag's value too
             continue;
         }

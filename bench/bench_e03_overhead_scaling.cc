@@ -18,8 +18,9 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
-#include "baseline/readers.hh"
-#include "pec/pec.hh"
+#include "analysis/trace_report.hh"
+#include "base/logging.hh"
+#include "baseline/source_set.hh"
 #include "stats/table.hh"
 #include "workloads/oltp.hh"
 
@@ -29,59 +30,37 @@ using namespace limit;
 
 constexpr sim::Tick runTicks = 30'000'000;
 
-enum class Method { None, Pec, Papi, Perf };
-
-const char *
-methodName(Method m)
-{
-    switch (m) {
-      case Method::None: return "uninstrumented";
-      case Method::Pec: return "pec/kernel-fixup";
-      case Method::Papi: return "papi-like";
-      case Method::Perf: return "perf-syscall";
-    }
-    return "?";
-}
-
+/**
+ * One OLTP run instrumented through a unified counter source (null
+ * spec = uninstrumented baseline). All methods flow through the same
+ * limit::CounterSource interface; the bench only varies density.
+ */
 std::uint64_t
-runOnce(Method method, unsigned read_every, unsigned reads_per_hook,
-        std::uint64_t seed)
+runOnce(const baseline::SourceSpec *spec, unsigned read_every,
+        unsigned reads_per_hook, std::uint64_t seed,
+        const analysis::BenchArgs *trace = nullptr)
 {
-    analysis::BundleOptions o;
-    o.cores = 4;
-    o.seed = 1 + seed;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(
+        analysis::BundleOptions::builder()
+            .cores(4)
+            .seed(1 + seed)
+            .traceCapacity(trace ? trace->traceCap : 0)
+            .build());
 
-    std::unique_ptr<pec::PecSession> session;
-    std::unique_ptr<baseline::CounterReader> reader;
-    switch (method) {
-      case Method::None:
-        break;
-      case Method::Pec:
-        session = std::make_unique<pec::PecSession>(b.kernel());
-        session->addEvent(0, sim::EventType::Cycles, true, true);
-        reader = std::make_unique<baseline::PecReader>(*session);
-        break;
-      case Method::Papi:
-        b.kernel().perf().setupCounting(0, sim::EventType::Cycles, true,
-                                        true);
-        reader = std::make_unique<baseline::PapiReader>();
-        break;
-      case Method::Perf:
-        b.kernel().perf().setupCounting(0, sim::EventType::Cycles, true,
-                                        true);
-        reader = std::make_unique<baseline::PerfSyscallReader>();
-        break;
-    }
+    baseline::SourceInstance inst;
+    if (spec)
+        inst = spec->make(b.kernel(), 0, sim::EventType::Cycles, true,
+                          true);
 
     workloads::OltpConfig cfg;
     cfg.clients = 6;
-    if (reader) {
+    if (inst.source) {
+        limit::CounterSource *source = inst.source.get();
         cfg.hookEvery = read_every;
         cfg.opHook =
-            [&reader, reads_per_hook](sim::Guest &g) -> sim::Task<void> {
+            [source, reads_per_hook](sim::Guest &g) -> sim::Task<void> {
             for (unsigned i = 0; i < reads_per_hook; ++i) {
-                const std::uint64_t v = co_await reader->read(g, 0);
+                const std::uint64_t v = co_await source->read(g, 0);
                 (void)v;
             }
         };
@@ -89,7 +68,22 @@ runOnce(Method method, unsigned read_every, unsigned reads_per_hook,
     workloads::OltpServer oltp(b.machine(), b.kernel(), cfg, 99 + seed);
     oltp.spawn();
     b.run(runTicks);
+    if (trace)
+        analysis::writeTraceReport(b, trace->trace);
     return oltp.operations();
+}
+
+/** Find a roster entry by its stable label. */
+const baseline::SourceSpec &
+findSpec(const std::vector<baseline::SourceSpec> &roster,
+         const std::string &label)
+{
+    for (const auto &s : roster) {
+        if (s.label == label)
+            return s;
+    }
+    fatal("no counter source labelled '", label,
+          "' in the standard roster");
 }
 
 } // namespace
@@ -117,7 +111,14 @@ main(int argc, char **argv)
         {"1/16", 16, 1}, {"1/4", 4, 1}, {"1", 1, 1},
         {"4", 1, 4},     {"16", 1, 16},
     };
-    const Method methods[] = {Method::Pec, Method::Papi, Method::Perf};
+    // The density sweep uses the three methods the paper contrasts,
+    // pulled from the same roster E1 tabulates in full.
+    const auto roster = limit::baseline::standardSources();
+    const std::vector<const limit::baseline::SourceSpec *> methods = {
+        &findSpec(roster, "pec/kernel-fixup"),
+        &findSpec(roster, "papi-like"),
+        &findSpec(roster, "perf-syscall"),
+    };
 
     // One job per (table cell, seed): the uninstrumented baseline
     // first, then every density x method point. Each job owns its
@@ -125,16 +126,16 @@ main(int argc, char **argv)
     // parallel and results are independent of worker count.
     struct Job
     {
-        Method m;
+        const limit::baseline::SourceSpec *spec;
         unsigned every;
         unsigned reads;
         std::uint64_t seed;
     };
     std::vector<Job> jobs;
     for (unsigned s = 0; s < args.seeds; ++s)
-        jobs.push_back({Method::None, 1, 0, s});
+        jobs.push_back({nullptr, 1, 0, s});
     for (const auto &d : densities) {
-        for (Method m : methods) {
+        for (const auto *m : methods) {
             for (unsigned s = 0; s < args.seeds; ++s)
                 jobs.push_back({m, d.every, d.reads, s});
         }
@@ -142,7 +143,7 @@ main(int argc, char **argv)
     const std::vector<std::uint64_t> ops = pool.map(
         jobs.size(), [&](std::size_t i) {
             const Job &j = jobs[i];
-            return runOnce(j.m, j.every, j.reads, j.seed);
+            return runOnce(j.spec, j.every, j.reads, j.seed);
         });
 
     std::size_t cursor = 0;
@@ -158,11 +159,11 @@ main(int argc, char **argv)
             "(counter reads per DB operation; 30M-cycle run)");
     t.header({"reads per op", "method", "ops done", "slowdown"});
     for (const auto &d : densities) {
-        for (Method m : methods) {
+        for (const auto *m : methods) {
             const double cell_ops = mean_ops();
             t.beginRow()
                 .cell(d.label)
-                .cell(methodName(m))
+                .cell(m->label)
                 .cell(static_cast<std::uint64_t>(cell_ops + 0.5))
                 .cell(baseline_ops / cell_ops, 2);
         }
@@ -173,5 +174,10 @@ main(int argc, char **argv)
     std::puts("\nShape check: pec stays within a few percent even at "
               "one read per operation; syscall methods degrade "
               "severely as density rises.");
+
+    // Dedicated traced re-run: densest PEC instrumentation, so the
+    // timeline carries syscall, futex and switch traffic.
+    if (args.tracing())
+        runOnce(methods[0], 1, 1, 0, &args);
     return 0;
 }

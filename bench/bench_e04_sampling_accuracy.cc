@@ -19,6 +19,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/trace_report.hh"
 #include "baseline/sampler.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
@@ -51,13 +52,16 @@ straight()
 /** Run the workload once; measure the region with one method. */
 double
 runSampled(std::uint64_t segment, std::uint64_t period,
-           std::uint64_t seed)
+           std::uint64_t seed,
+           const analysis::BenchArgs *trace = nullptr)
 {
-    analysis::BundleOptions o;
-    o.cores = 1;
-    o.pmuFeatures.counterWidth = 30;
-    o.seed = seed;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(
+        analysis::BundleOptions::builder()
+            .cores(1)
+            .pmuWidth(30)
+            .seed(seed)
+            .traceCapacity(trace ? trace->traceCap : 0)
+            .build());
     baseline::SamplingProfiler prof(b.kernel(), 0,
                                     sim::EventType::Instructions,
                                     period);
@@ -73,15 +77,16 @@ runSampled(std::uint64_t segment, std::uint64_t period,
     });
     b.machine().run();
     prof.aggregate();
+    if (trace)
+        analysis::writeTraceReport(b, trace->trace);
     return prof.estimate(region);
 }
 
 double
 runPec(std::uint64_t segment)
 {
-    analysis::BundleOptions o;
-    o.cores = 1;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(
+        analysis::BundleOptions::builder().cores(1).build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Instructions);
     pec::RegionProfilerConfig rc;
@@ -175,5 +180,10 @@ main(int argc, char **argv)
               "segments shrink below the sampling period (short\n"
               "segments are effectively invisible), matching the "
               "paper's precision argument.");
+
+    // Dedicated traced re-run of one sampling point — the timeline
+    // shows the sampling PMIs landing against the region boundaries.
+    if (args.tracing())
+        runSampled(1000, 4'000, 11, &args);
     return 0;
 }

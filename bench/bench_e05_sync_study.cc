@@ -90,6 +90,16 @@ main(int argc, char **argv)
     std::fputs(summary.render().c_str(), stdout);
     std::puts("");
     std::fputs(detail.render().c_str(), stdout);
+
+    // One extra dedicated run with the tracer attached (and counters
+    // narrow enough to wrap, so overflow PMIs show up in the
+    // timeline); tables above stay bit-identical to untraced runs.
+    if (args.tracing()) {
+        benchsync::TraceSpec tspec;
+        tspec.path = args.trace;
+        tspec.capacity = args.traceCap;
+        runApp(apps[0], ticks, 0, &tspec);
+    }
     std::puts("\nShape check: synchronization is a modest share of "
               "total cycles in every app, and mean critical sections "
               "are short (hundreds to a few thousand cycles) —\n"

@@ -58,6 +58,13 @@ main(int argc, char **argv)
         }
         std::puts("");
     }
+    if (args.tracing()) {
+        benchsync::TraceSpec tspec;
+        tspec.path = args.trace;
+        tspec.capacity = args.traceCap;
+        runApp(apps[0], ticks, 0, &tspec);
+    }
+
     std::puts("Shape check: every distribution peaks at short "
               "durations (2^7..2^12 cycles) with a thin long tail "
               "(contended futex sleeps) — many short critical\n"

@@ -18,6 +18,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/trace_report.hh"
 #include "os/sysno.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
@@ -40,12 +41,15 @@ struct Breakdown
 
 /** Run `which` for `ticks`, measuring both modes via PEC counters. */
 Breakdown
-run(const std::string &which, sim::Tick ticks, std::uint64_t seed)
+run(const std::string &which, sim::Tick ticks, std::uint64_t seed,
+    const analysis::BenchArgs *trace = nullptr)
 {
-    analysis::BundleOptions o;
-    o.cores = 4;
-    o.seed = 1 + seed;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(
+        analysis::BundleOptions::builder()
+            .cores(4)
+            .seed(1 + seed)
+            .traceCapacity(trace ? trace->traceCap : 0)
+            .build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Instructions, true, false);
     session.addEvent(1, sim::EventType::Instructions, false, true);
@@ -94,6 +98,8 @@ run(const std::string &which, sim::Tick ticks, std::uint64_t seed)
         sim::PrivMode::Kernel);
     out.pecUser = session.processTotal(0);
     out.pecKernel = session.processTotal(1);
+    if (trace)
+        analysis::writeTraceReport(b, trace->trace);
     return out;
 }
 
@@ -154,5 +160,8 @@ main(int argc, char **argv)
               "— user-only characterization misses a large fraction "
               "of server behaviour. Drift shows the virtualized "
               "counters track the exact ledger closely.");
+
+    if (args.tracing())
+        run(workloads[0], ticks, 0, &args);
     return 0;
 }

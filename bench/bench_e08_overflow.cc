@@ -18,6 +18,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/trace_report.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
 
@@ -36,13 +37,16 @@ struct Outcome
 };
 
 Outcome
-run(pec::OverflowPolicy policy, unsigned width, std::uint64_t seed)
+run(pec::OverflowPolicy policy, unsigned width, std::uint64_t seed,
+    const analysis::BenchArgs *trace = nullptr)
 {
-    analysis::BundleOptions o;
-    o.cores = 1;
-    o.pmuFeatures.counterWidth = width;
-    o.seed = 1 + seed;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(
+        analysis::BundleOptions::builder()
+            .cores(1)
+            .pmuWidth(width)
+            .seed(1 + seed)
+            .traceCapacity(trace ? trace->traceCap : 0)
+            .build());
     pec::PecConfig pc;
     pc.policy = policy;
     pec::PecSession session(b.kernel(), pc);
@@ -69,6 +73,8 @@ run(pec::OverflowPolicy policy, unsigned width, std::uint64_t seed)
     out.wraps = session.overflowFixups();
     out.restarts = session.readRestarts();
     out.retries = session.doubleCheckRetries();
+    if (trace)
+        analysis::writeTraceReport(b, trace->trace);
     return out;
 }
 
@@ -143,5 +149,11 @@ main(int argc, char **argv)
               "'double-check' never produce a bad read; the fix-up's "
               "per-read cost matches naive-sum when no overflow hits "
               "the read window.");
+
+    // Dedicated traced re-run: a 12-bit counter under the kernel
+    // fix-up wraps constantly, so the timeline is dense with overflow
+    // PMIs and fix-up events.
+    if (args.tracing())
+        run(OverflowPolicy::KernelFixup, 12, 0, &args);
     return 0;
 }

@@ -21,6 +21,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/trace_report.hh"
 #include "os/sysno.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
@@ -34,11 +35,11 @@ double
 readCost(const sim::PmuFeatures &features, pec::OverflowPolicy policy,
          std::uint64_t seed)
 {
-    analysis::BundleOptions o;
-    o.cores = 1;
-    o.pmuFeatures = features;
-    o.seed = 1 + seed;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(1)
+                              .pmuFeatures(features)
+                              .seed(1 + seed)
+                              .build());
     pec::PecConfig pc;
     pc.policy = policy;
     pec::PecSession session(b.kernel(), pc);
@@ -66,11 +67,11 @@ readCost(const sim::PmuFeatures &features, pec::OverflowPolicy policy,
 double
 segmentCost(bool destructive, std::uint64_t seed)
 {
-    analysis::BundleOptions o;
-    o.cores = 1;
-    o.pmuFeatures.destructiveRead = true;
-    o.seed = 1 + seed;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(1)
+                              .destructiveRead()
+                              .seed(1 + seed)
+                              .build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Instructions);
     pec::RegionProfilerConfig rc;
@@ -96,15 +97,18 @@ segmentCost(bool destructive, std::uint64_t seed)
 
 /** Mean kernel cycles per context switch with 4 counters active. */
 double
-switchCost(bool tagged, bool virtualized, std::uint64_t seed)
+switchCost(bool tagged, bool virtualized, std::uint64_t seed,
+           const analysis::BenchArgs *trace = nullptr)
 {
-    analysis::BundleOptions o;
-    o.cores = 1;
-    o.quantum = 10'000'000; // only voluntary switches
-    o.pmuFeatures.taggedVirtualization = tagged;
-    o.kernelConfig.virtualizeCounters = virtualized;
-    o.seed = 1 + seed;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(
+        analysis::BundleOptions::builder()
+            .cores(1)
+            .quantum(10'000'000) // only voluntary switches
+            .taggedVirtualization(tagged)
+            .virtualizeCounters(virtualized)
+            .seed(1 + seed)
+            .traceCapacity(trace ? trace->traceCap : 0)
+            .build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Cycles);
     session.addEvent(1, sim::EventType::Instructions);
@@ -127,6 +131,8 @@ switchCost(bool tagged, bool virtualized, std::uint64_t seed)
         b.kernel(), sim::EventType::Cycles, sim::PrivMode::Kernel);
     const std::uint64_t switches =
         b.kernel().totalContextSwitches();
+    if (trace)
+        analysis::writeTraceReport(b, trace->trace);
     return static_cast<double>(kernel_cycles) /
            static_cast<double>(switches);
 }
@@ -220,5 +226,10 @@ main(int argc, char **argv)
               "segment-measurement footprint, and tagging returns the "
               "context switch to its unvirtualized cost while keeping "
               "per-thread precision.");
+
+    // Dedicated traced re-run: software save/restore of a full
+    // counter set — every yield shows switch + save + restore events.
+    if (args.tracing())
+        switchCost(false, true, 0, &args);
     return 0;
 }

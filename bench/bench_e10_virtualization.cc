@@ -19,6 +19,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/trace_report.hh"
 #include "os/sysno.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
@@ -28,14 +29,17 @@ namespace {
 using namespace limit;
 
 double
-switchCostWithCounters(unsigned counters, std::uint64_t seed)
+switchCostWithCounters(unsigned counters, std::uint64_t seed,
+                       const analysis::BenchArgs *trace = nullptr)
 {
-    analysis::BundleOptions o;
-    o.cores = 1;
-    o.quantum = 10'000'000;
-    o.pmuCounters = 8;
-    o.seed = 1 + seed;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(
+        analysis::BundleOptions::builder()
+            .cores(1)
+            .quantum(10'000'000)
+            .pmuCounters(8)
+            .seed(1 + seed)
+            .traceCapacity(trace ? trace->traceCap : 0)
+            .build());
     pec::PecSession session(b.kernel());
     const sim::EventType evs[8] = {
         sim::EventType::Cycles,      sim::EventType::Instructions,
@@ -57,6 +61,8 @@ switchCostWithCounters(unsigned counters, std::uint64_t seed)
                          });
     }
     b.machine().run();
+    if (trace)
+        analysis::writeTraceReport(b, trace->trace);
     return static_cast<double>(analysis::totalEvent(
                b.kernel(), sim::EventType::Cycles,
                sim::PrivMode::Kernel)) /
@@ -75,10 +81,10 @@ struct MuxResult
 MuxResult
 runMux(sim::Tick rotation_interval, std::uint64_t seed)
 {
-    analysis::BundleOptions o;
-    o.cores = 2;
-    o.seed = 1 + seed;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(2)
+                              .seed(1 + seed)
+                              .build());
     pec::MuxSession mux(b.kernel(), 0,
                         {{sim::EventType::Instructions, true, false},
                          {sim::EventType::Loads, true, false},
@@ -199,5 +205,9 @@ main(int argc, char **argv)
               "error that faster rotation only partly repairs — "
               "precise counting avoids both by reading real counts "
               "from userspace.");
+
+    // Dedicated traced re-run: the full 8-counter save/restore set.
+    if (args.tracing())
+        switchCostWithCounters(8, 0, &args);
     return 0;
 }

@@ -18,6 +18,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/trace_report.hh"
 #include "stats/table.hh"
 #include "workloads/browser.hh"
 #include "workloads/kernels.hh"
@@ -41,13 +42,16 @@ struct Row
 };
 
 Row
-characterize(const std::string &which, std::uint64_t seed)
+characterize(const std::string &which, std::uint64_t seed,
+             const analysis::BenchArgs *trace = nullptr)
 {
-    analysis::BundleOptions o;
-    o.cores = 4;
-    o.quantum = 1'000'000;
-    o.seed = 1 + seed;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(
+        analysis::BundleOptions::builder()
+            .cores(4)
+            .quantum(1'000'000)
+            .seed(1 + seed)
+            .traceCapacity(trace ? trace->traceCap : 0)
+            .build());
 
     std::unique_ptr<workloads::OltpServer> oltp;
     std::unique_ptr<workloads::WebServer> web;
@@ -121,6 +125,8 @@ characterize(const std::string &which, std::uint64_t seed)
     r.switchesPerMcycle =
         1e6 * static_cast<double>(k.totalContextSwitches()) /
         all_cycles;
+    if (trace)
+        analysis::writeTraceReport(b, trace->trace);
     return r;
 }
 
@@ -181,5 +187,8 @@ main(int argc, char **argv)
               "and mixed locality — supporting the paper's implication "
               "that cloud-era workloads need their own "
               "characterization.");
+
+    if (args.tracing())
+        characterize(names[0], 0, &args);
     return 0;
 }

@@ -30,6 +30,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/trace_report.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
 #include "workloads/kernels.hh"
@@ -54,10 +55,10 @@ Throughput
 runStream(std::uint64_t seed)
 {
     const auto t0 = clk::now();
-    analysis::BundleOptions o;
-    o.cores = 1;
-    o.seed = 1 + seed;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(1)
+                              .seed(1 + seed)
+                              .build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Cycles, true, true);
     workloads::ComputeKernel k(b.kernel(), workloads::KernelKind::Stream,
@@ -75,13 +76,15 @@ runStream(std::uint64_t seed)
 
 /** Four-core OLTP: scheduling, syscalls and memory hierarchy. */
 Throughput
-runOltp(std::uint64_t seed)
+runOltp(std::uint64_t seed, const analysis::BenchArgs *trace = nullptr)
 {
     const auto t0 = clk::now();
-    analysis::BundleOptions o;
-    o.cores = 4;
-    o.seed = 1 + seed;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(
+        analysis::BundleOptions::builder()
+            .cores(4)
+            .seed(1 + seed)
+            .traceCapacity(trace ? trace->traceCap : 0)
+            .build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Cycles, true, true);
     workloads::OltpConfig cfg;
@@ -95,6 +98,8 @@ runOltp(std::uint64_t seed)
         b.kernel(), sim::EventType::Instructions));
     out.cycles = static_cast<double>(
         analysis::totalEvent(b.kernel(), sim::EventType::Cycles));
+    if (trace)
+        analysis::writeTraceReport(b, trace->trace);
     return out;
 }
 
@@ -206,5 +211,11 @@ main(int argc, char **argv)
         std::fclose(json);
         std::puts("wrote BENCH_selfperf.json");
     }
+
+    // Dedicated traced re-run of the scheduling-heavy scenario; never
+    // part of the timed best-of runs above, so throughput numbers are
+    // identical with and without --trace.
+    if (args.tracing())
+        runOltp(0, &args);
     return 0;
 }

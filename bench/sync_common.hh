@@ -13,12 +13,26 @@
 #include <vector>
 
 #include "analysis/bundle.hh"
+#include "analysis/trace_report.hh"
 #include "pec/pec.hh"
 #include "workloads/browser.hh"
 #include "workloads/oltp.hh"
 #include "workloads/webserver.hh"
 
 namespace limit::benchsync {
+
+/**
+ * Request for an instrumented (traced) run. The PMU counter width is
+ * narrowed so the cycle counter actually wraps at bench scale and the
+ * trace shows overflow PMIs alongside switches and futex traffic; the
+ * published tables always come from untraced full-width runs.
+ */
+struct TraceSpec
+{
+    std::string path;
+    unsigned capacity = 65536;
+    unsigned pmuWidth = 22; // wraps every ~4.2M cycles at 3 GHz
+};
 
 /** Aggregated results for one lock class of one app. */
 struct LockClassStats
@@ -51,15 +65,18 @@ collectLock(const pec::RegionProfiler &prof, sim::RegionTable &regions,
 
 /**
  * Run one app with lock instrumentation for `ticks`. `seed` offsets
- * the workload RNG (0 reproduces the historical tables).
+ * the workload RNG (0 reproduces the historical tables). A non-null
+ * `tspec` attaches a tracer (and narrows the counters, see TraceSpec)
+ * and writes the Chrome-trace JSON before returning.
  */
 inline SyncRunResult
-runApp(const std::string &which, sim::Tick ticks, std::uint64_t seed = 0)
+runApp(const std::string &which, sim::Tick ticks, std::uint64_t seed = 0,
+       const TraceSpec *tspec = nullptr)
 {
-    analysis::BundleOptions o;
-    o.cores = 4;
-    o.seed = 1 + seed;
-    analysis::SimBundle b(o);
+    auto ob = analysis::BundleOptions::builder().cores(4).seed(1 + seed);
+    if (tspec)
+        ob.traceCapacity(tspec->capacity).pmuWidth(tspec->pmuWidth);
+    analysis::SimBundle b(ob.build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Cycles, true, true);
     pec::RegionProfilerConfig rc;
@@ -119,6 +136,8 @@ runApp(const std::string &which, sim::Tick ticks, std::uint64_t seed = 0)
         out.workItems = browser->totalEvents();
         collectLock(prof, regions, "browser.image-cache", out);
     }
+    if (tspec)
+        analysis::writeTraceReport(b, tspec->path);
     return out;
 }
 

@@ -9,19 +9,25 @@ namespace limit::analysis {
 namespace {
 
 [[noreturn]] void
-usage(const char *prog, const BenchArgs &defaults,
+usage(const char *prog, const BenchDefaults &defaults,
       const char *what_seeds, int exit_code)
 {
     std::FILE *out = exit_code == 0 ? stdout : stderr;
-    std::fprintf(out,
-                 "usage: %s [--seeds N] [--jobs N]\n"
-                 "  --seeds N  %s (default %u)\n"
-                 "  --jobs N   host threads for parallel experiment "
-                 "fan-out; 0 = all hardware threads (default %u)\n",
-                 prog,
-                 what_seeds ? what_seeds
-                            : "repetitions averaged per table point",
-                 defaults.seeds, defaults.jobs);
+    std::fprintf(
+        out,
+        "usage: %s [--seeds N] [--jobs N] [--trace FILE] "
+        "[--trace-cap N]\n"
+        "  --seeds N      %s (default %u)\n"
+        "  --jobs N       host threads for parallel experiment "
+        "fan-out; 0 = all hardware threads (default %u)\n"
+        "  --trace FILE   write a Chrome-trace JSON (Perfetto-"
+        "loadable) of one representative run\n"
+        "  --trace-cap N  per-core trace ring capacity in records "
+        "(default %u)\n",
+        prog,
+        what_seeds ? what_seeds
+                   : "repetitions averaged per table point",
+        defaults.seeds, defaults.jobs, BenchArgs{}.traceCap);
     std::exit(exit_code);
 }
 
@@ -31,7 +37,7 @@ parseUnsigned(const char *prog, const char *flag, const char *text)
     char *end = nullptr;
     const unsigned long v = std::strtoul(text ? text : "", &end, 10);
     if (text == nullptr || *text == '\0' || *end != '\0' ||
-        v > 1'000'000) {
+        v > 100'000'000) {
         std::fprintf(stderr, "%s: bad value for %s: '%s'\n", prog, flag,
                      text ? text : "");
         std::exit(2);
@@ -39,30 +45,66 @@ parseUnsigned(const char *prog, const char *flag, const char *text)
     return static_cast<unsigned>(v);
 }
 
+/**
+ * Match `arg` against `flag`, accepting both "--flag value" and
+ * "--flag=value". Returns the value (consuming argv[i+1] in the first
+ * form), or nullptr when `arg` is not this flag. A missing value is
+ * reported via parse failure downstream (returns "").
+ */
+const char *
+flagValue(const char *flag, const char *arg, int argc, char **argv,
+          int &i)
+{
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(arg, flag, len) != 0)
+        return nullptr;
+    if (arg[len] == '=')
+        return arg + len + 1;
+    if (arg[len] != '\0')
+        return nullptr; // longer flag with this prefix
+    return i + 1 < argc ? argv[++i] : "";
+}
+
 } // namespace
 
 BenchArgs
-parseBenchArgs(int argc, char **argv, BenchArgs defaults,
+parseBenchArgs(int argc, char **argv, BenchDefaults defaults,
                const char *what_seeds)
 {
-    BenchArgs args = defaults;
+    BenchArgs args;
+    args.seeds = defaults.seeds;
+    args.jobs = defaults.jobs;
     const char *prog = argc > 0 ? argv[0] : "bench";
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
+        const char *value = nullptr;
         if (std::strcmp(arg, "--help") == 0 ||
             std::strcmp(arg, "-h") == 0) {
             usage(prog, defaults, what_seeds, 0);
-        } else if (std::strcmp(arg, "--seeds") == 0) {
-            args.seeds = parseUnsigned(
-                prog, arg, i + 1 < argc ? argv[++i] : nullptr);
+        } else if ((value = flagValue("--seeds", arg, argc, argv, i))) {
+            args.seeds = parseUnsigned(prog, "--seeds", value);
             if (args.seeds == 0) {
                 std::fprintf(stderr, "%s: --seeds must be >= 1\n", prog);
                 std::exit(2);
             }
-        } else if (std::strcmp(arg, "--jobs") == 0) {
-            args.jobs = parseUnsigned(
-                prog, arg, i + 1 < argc ? argv[++i] : nullptr);
+        } else if ((value = flagValue("--jobs", arg, argc, argv, i))) {
+            args.jobs = parseUnsigned(prog, "--jobs", value);
+        } else if ((value =
+                        flagValue("--trace-cap", arg, argc, argv, i))) {
+            args.traceCap = parseUnsigned(prog, "--trace-cap", value);
+            if (args.traceCap == 0) {
+                std::fprintf(stderr, "%s: --trace-cap must be >= 1\n",
+                             prog);
+                std::exit(2);
+            }
+        } else if ((value = flagValue("--trace", arg, argc, argv, i))) {
+            if (*value == '\0') {
+                std::fprintf(stderr, "%s: --trace needs a file name\n",
+                             prog);
+                std::exit(2);
+            }
+            args.trace = value;
         } else {
             std::fprintf(stderr, "%s: unknown argument '%s'\n", prog,
                          arg);

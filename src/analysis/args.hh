@@ -2,19 +2,27 @@
  * @file
  * Shared command-line parsing for the bench binaries.
  *
- * Every bench accepts the same two knobs:
- *   --seeds N   repetitions averaged per table point (statistical
- *               depth; benches with no seed sweep document how they
- *               interpret it, typically as a repetition count)
- *   --jobs N    host threads for the ParallelRunner fan-out
- *               (0 = one per hardware thread)
- * so `bench_e04 --seeds 16 --jobs 8` deepens and parallelizes a
- * reproduction run without editing source. Parsing is deliberately
- * tiny — two flags and --help — rather than a general option library.
+ * Every bench accepts the same knobs:
+ *   --seeds N        repetitions averaged per table point (statistical
+ *                    depth; benches with no seed sweep document how
+ *                    they interpret it, typically as a repetition
+ *                    count)
+ *   --jobs N         host threads for the ParallelRunner fan-out
+ *                    (0 = one per hardware thread)
+ *   --trace FILE     write a Chrome-trace JSON of one representative
+ *                    run (Perfetto-loadable; see docs/TRACING.md)
+ *   --trace-cap N    per-core trace ring capacity in records
+ * so `bench_e04 --seeds 16 --jobs 8 --trace e04.json` deepens,
+ * parallelizes, and instruments a reproduction run without editing
+ * source. Flags also accept the --flag=value spelling. Parsing is
+ * deliberately tiny — four flags and --help — rather than a general
+ * option library.
  */
 
 #ifndef LIMIT_ANALYSIS_ARGS_HH
 #define LIMIT_ANALYSIS_ARGS_HH
+
+#include <string>
 
 namespace limit::analysis {
 
@@ -23,16 +31,33 @@ struct BenchArgs
 {
     unsigned seeds = 1;
     unsigned jobs = 1;
+    /** Chrome-trace output path; empty = tracing off. */
+    std::string trace;
+    /** Per-core trace ring capacity (records). */
+    unsigned traceCap = 65536;
+
+    bool tracing() const { return !trace.empty(); }
 };
 
 /**
- * Parse --seeds/--jobs from argv, starting from the given defaults.
- * Prints usage and exits(0) on --help/-h; prints an error and
- * exits(2) on unknown flags or malformed values. `what_seeds` is the
- * one-line meaning of --seeds shown in --help (nullptr for the
- * generic wording).
+ * The per-bench knob defaults — deliberately only the fields benches
+ * customize, so `{.seeds = 3, .jobs = 0}` initializes it exhaustively
+ * (tracing always defaults to off).
  */
-BenchArgs parseBenchArgs(int argc, char **argv, BenchArgs defaults,
+struct BenchDefaults
+{
+    unsigned seeds = 1;
+    unsigned jobs = 1;
+};
+
+/**
+ * Parse --seeds/--jobs/--trace/--trace-cap from argv, starting from
+ * the given defaults. Prints usage and exits(0) on --help/-h; prints
+ * an error and exits(2) on unknown flags or malformed values.
+ * `what_seeds` is the one-line meaning of --seeds shown in --help
+ * (nullptr for the generic wording).
+ */
+BenchArgs parseBenchArgs(int argc, char **argv, BenchDefaults defaults,
                          const char *what_seeds = nullptr);
 
 } // namespace limit::analysis

@@ -1,6 +1,31 @@
 #include "analysis/bundle.hh"
 
+#include "base/logging.hh"
+
 namespace limit::analysis {
+
+BundleOptions
+BundleOptions::Builder::build() const
+{
+    fatal_if(o_.cores == 0, "BundleOptions: need at least one core");
+    fatal_if(o_.pmuCounters == 0 ||
+                 o_.pmuCounters > sim::maxPmuCounters,
+             "BundleOptions: pmuCounters must be in [1, ",
+             sim::maxPmuCounters, "], got ", o_.pmuCounters);
+    fatal_if(o_.pmuFeatures.counterWidth < 8 ||
+                 o_.pmuFeatures.counterWidth > 64,
+             "BundleOptions: pmuWidth must be in [8, 64] bits, got ",
+             o_.pmuFeatures.counterWidth);
+    // Tagged virtualization swaps per-thread counter sets in
+    // hardware; with kernel virtualization off nothing ever saves or
+    // restores them, so the feature silently does nothing — reject
+    // the combination as a configuration error.
+    fatal_if(o_.pmuFeatures.taggedVirtualization &&
+                 !o_.kernelConfig.virtualizeCounters,
+             "BundleOptions: taggedVirtualization requires "
+             "virtualizeCounters(true)");
+    return o_;
+}
 
 SimBundle::SimBundle(const BundleOptions &options)
 {
@@ -22,6 +47,12 @@ SimBundle::SimBundle(const BundleOptions &options)
     os::KernelConfig kc = options.kernelConfig;
     kc.seed = options.seed ^ 0x5eed;
     kernel_ = std::make_unique<os::Kernel>(*machine_, kc);
+
+    if (options.traceCapacity > 0) {
+        tracer_ = std::make_unique<trace::Tracer>(options.cores,
+                                                  options.traceCapacity);
+        machine_->setTracer(tracer_.get());
+    }
 }
 
 std::uint64_t

@@ -13,10 +13,18 @@
 #include "mem/hierarchy.hh"
 #include "os/kernel.hh"
 #include "sim/machine.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace limit::analysis {
 
-/** Options for building a standard experiment machine. */
+/**
+ * Options for building a standard experiment machine.
+ *
+ * Direct aggregate initialization still works but is deprecated for
+ * bench code in favour of BundleOptions::Builder, which validates
+ * combinations at construction time (see docs/API.md).
+ */
 struct BundleOptions
 {
     unsigned cores = 4;
@@ -29,7 +37,89 @@ struct BundleOptions
     bool useCaches = true;
     mem::HierarchyConfig hierarchy{};
     os::KernelConfig kernelConfig{};
+    /**
+     * Per-core trace ring capacity in records; 0 builds no tracer.
+     * (With LIMITPP_TRACE=OFF a tracer is still built but nothing is
+     * ever recorded into it.)
+     */
+    unsigned traceCapacity = 0;
+
+    class Builder;
+    /** Start a validated fluent build (canonical defaults). */
+    static Builder builder();
 };
+
+/**
+ * Fluent, validating constructor for BundleOptions. Each setter names
+ * the knob it sets; build() cross-checks the combination (counter
+ * width range, feature dependencies) and fatals with a message naming
+ * the offending pair, so an impossible machine is rejected where it
+ * is written instead of misbehaving mid-run.
+ */
+class BundleOptions::Builder
+{
+  public:
+    Builder &cores(unsigned n) { o_.cores = n; return *this; }
+    Builder &pmuCounters(unsigned n) { o_.pmuCounters = n; return *this; }
+    /** Replace the whole PMU feature set (still validated by build()). */
+    Builder &pmuFeatures(const sim::PmuFeatures &f)
+    {
+        o_.pmuFeatures = f;
+        return *this;
+    }
+    /** Hardware counter width in bits (paper enhancement #1 at 64). */
+    Builder &pmuWidth(unsigned bits)
+    {
+        o_.pmuFeatures.counterWidth = bits;
+        return *this;
+    }
+    /** Read-and-clear counters (paper enhancement #2). */
+    Builder &destructiveRead(bool on = true)
+    {
+        o_.pmuFeatures.destructiveRead = on;
+        return *this;
+    }
+    /** Hardware-swapped counter sets (paper enhancement #3). */
+    Builder &taggedVirtualization(bool on = true)
+    {
+        o_.pmuFeatures.taggedVirtualization = on;
+        return *this;
+    }
+    Builder &quantum(sim::Tick q) { o_.quantum = q; return *this; }
+    Builder &seed(std::uint64_t s) { o_.seed = s; return *this; }
+    /** Flat fixed-latency memory instead of the cache hierarchy. */
+    Builder &flatMemory() { o_.useCaches = false; return *this; }
+    Builder &hierarchy(const mem::HierarchyConfig &h)
+    {
+        o_.useCaches = true;
+        o_.hierarchy = h;
+        return *this;
+    }
+    /** Kernel-side counter save/restore across switches. */
+    Builder &virtualizeCounters(bool on)
+    {
+        o_.kernelConfig.virtualizeCounters = on;
+        return *this;
+    }
+    Builder &traceCapacity(unsigned records)
+    {
+        o_.traceCapacity = records;
+        return *this;
+    }
+
+    /** Validate the combination and return the options (fatals on
+     *  an impossible machine). */
+    BundleOptions build() const;
+
+  private:
+    BundleOptions o_;
+};
+
+inline BundleOptions::Builder
+BundleOptions::builder()
+{
+    return Builder{};
+}
 
 /** Machine + memory + kernel with consistent construction order. */
 class SimBundle
@@ -40,6 +130,12 @@ class SimBundle
     sim::Machine &machine() { return *machine_; }
     os::Kernel &kernel() { return *kernel_; }
     mem::CacheHierarchy *hierarchy() { return hierarchy_.get(); }
+
+    /** Trace sink (nullptr unless traceCapacity was set). */
+    trace::Tracer *tracer() { return tracer_.get(); }
+
+    /** Per-bundle metrics, harvested into bench JSON output. */
+    trace::MetricsRegistry &metrics() { return metrics_; }
 
     /** Run with a stop request at `stop_at` ticks. */
     sim::Tick
@@ -53,6 +149,8 @@ class SimBundle
     std::unique_ptr<sim::Machine> machine_;
     std::unique_ptr<mem::CacheHierarchy> hierarchy_;
     std::unique_ptr<os::Kernel> kernel_;
+    std::unique_ptr<trace::Tracer> tracer_;
+    trace::MetricsRegistry metrics_;
 };
 
 /** Sum one event across every thread (one privilege mode). */

@@ -1,0 +1,73 @@
+#include "analysis/trace_report.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "os/sysno.hh"
+#include "trace/exporter.hh"
+
+namespace limit::analysis {
+
+void
+harvestStandardMetrics(SimBundle &bundle)
+{
+    trace::MetricsRegistry &m = bundle.metrics();
+    m.set("sim.max_time_ticks",
+          static_cast<double>(bundle.machine().maxTime()));
+    m.set("os.threads", bundle.kernel().numThreads());
+    m.add("os.context_switches",
+          bundle.kernel().totalContextSwitches());
+    m.add("ledger.instructions",
+          totalEvent(bundle.kernel(), sim::EventType::Instructions));
+    m.add("ledger.cycles",
+          totalEvent(bundle.kernel(), sim::EventType::Cycles));
+
+    const trace::Tracer *tracer = bundle.tracer();
+    if (!tracer)
+        return;
+    m.add("trace.records", tracer->totalRecorded());
+    m.add("trace.dropped", tracer->totalDropped());
+    for (unsigned c = 0; c < trace::numTraceCategories; ++c) {
+        const auto cat = static_cast<trace::TraceCategory>(c);
+        const std::uint64_t n = tracer->categoryCount(cat);
+        if (n > 0) {
+            m.add(std::string("trace.") +
+                      std::string(trace::traceCategoryName(cat)),
+                  n);
+        }
+    }
+}
+
+bool
+writeTraceReport(SimBundle &bundle, const std::string &path)
+{
+    harvestStandardMetrics(bundle);
+    const trace::Tracer *tracer = bundle.tracer();
+    if (!tracer) {
+        std::fprintf(stderr,
+                     "trace: bundle has no tracer (was traceCapacity "
+                     "set?); not writing %s\n",
+                     path.c_str());
+        return false;
+    }
+
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "trace: cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    trace::ExportOptions opts;
+    opts.syscallName = os::sysName;
+    trace::writeChromeTrace(out, *tracer, &bundle.metrics(), opts);
+    out.close();
+
+    std::fputs(trace::asciiSummary(*tracer).c_str(), stdout);
+    std::printf("wrote %s (%llu events)\n", path.c_str(),
+                static_cast<unsigned long long>(
+                    tracer->totalRecorded() - tracer->totalDropped()));
+    return true;
+}
+
+} // namespace limit::analysis

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * One call from a bench's main: harvest a traced bundle and write the
+ * Chrome-trace JSON.
+ *
+ * Keeps every bench's --trace handling identical: standard metrics
+ * (run length, context switches, ledger totals, per-category trace
+ * hit counts, ring drops) are folded into the bundle's
+ * MetricsRegistry, the JSON file is written with syscall numbers
+ * decoded, and the ASCII per-category summary is printed to stdout.
+ */
+
+#ifndef LIMIT_ANALYSIS_TRACE_REPORT_HH
+#define LIMIT_ANALYSIS_TRACE_REPORT_HH
+
+#include <string>
+
+#include "analysis/bundle.hh"
+
+namespace limit::analysis {
+
+/**
+ * Fold standard post-run metrics from `bundle` (ledger totals,
+ * scheduler counts, trace aggregates when a tracer is attached) into
+ * bundle.metrics(). Safe to call on an untraced bundle.
+ */
+void harvestStandardMetrics(SimBundle &bundle);
+
+/**
+ * harvestStandardMetrics + write the Chrome-trace JSON to `path` +
+ * print the ASCII summary. Returns false (with a message on stderr)
+ * when the bundle has no tracer or the file cannot be written.
+ */
+bool writeTraceReport(SimBundle &bundle, const std::string &path);
+
+} // namespace limit::analysis
+
+#endif // LIMIT_ANALYSIS_TRACE_REPORT_HH

@@ -1,0 +1,19 @@
+#include "baseline/counter_source.hh"
+
+namespace limit {
+
+sim::Task<std::uint64_t>
+CounterSource::readDelta(sim::Guest &g, unsigned ctr)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(g.tid()) << 8) | (ctr & 0xff);
+    const std::uint64_t v = co_await read(g, ctr);
+    auto it = lastValue_.try_emplace(key, 0).first;
+    const std::uint64_t prev = it->second;
+    it->second = v;
+    // A method returning a non-monotonic proxy (rusage after a ledger
+    // reset) could go backwards; clamp rather than wrap.
+    co_return v >= prev ? v - prev : 0;
+}
+
+} // namespace limit

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The unified counter-reader interface.
+ *
+ * Every way of obtaining a virtualized 64-bit event count — the PEC
+ * fast read, perf_event syscall reads, PAPI-class library reads,
+ * rusage accounting — implements this one surface, so experiments
+ * iterate a vector of sources instead of branching per method. Beyond
+ * read(), the interface standardizes two things the benches used to
+ * reimplement per reader:
+ *
+ *   - readDelta(): the count since this thread's previous readDelta
+ *     of the same counter. Sources with hardware support (destructive
+ *     reads) override it; everyone else gets a software diff against
+ *     remembered values.
+ *   - cost(): static metadata about what a read costs and means, so
+ *     tables can annotate methods without hard-coded knowledge.
+ */
+
+#ifndef LIMIT_BASELINE_COUNTER_SOURCE_HH
+#define LIMIT_BASELINE_COUNTER_SOURCE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "sim/guest.hh"
+#include "sim/task.hh"
+
+namespace limit {
+
+/** Static cost/semantics metadata for one access method. */
+struct CounterCost
+{
+    /** Every read crosses into the kernel. */
+    bool syscallPerRead = false;
+    /**
+     * Values are exact event counts. False for methods that return a
+     * proxy (rusage's tick-resolution time).
+     */
+    bool preciseEvents = true;
+    /** Userspace library instructions per read beyond the raw access. */
+    std::uint64_t libraryInstrs = 0;
+};
+
+/** One way of reading a virtualized 64-bit counter from guest code. */
+class CounterSource
+{
+  public:
+    virtual ~CounterSource() = default;
+
+    /** Current value of counter `ctr` for the calling thread. */
+    virtual sim::Task<std::uint64_t> read(sim::Guest &g, unsigned ctr)
+        = 0;
+
+    /**
+     * Count since the calling thread's previous readDelta of `ctr`
+     * (whole-life count on the first call). The default is a software
+     * diff — one read() plus remembered state, no extra guest cost;
+     * sources with destructive-read hardware override it.
+     */
+    virtual sim::Task<std::uint64_t> readDelta(sim::Guest &g,
+                                               unsigned ctr);
+
+    /** What a read costs and means. */
+    virtual CounterCost cost() const = 0;
+
+    /** Method name for reports. */
+    virtual std::string name() const = 0;
+
+  private:
+    /** Last read() value per (thread, counter), for the diff. */
+    std::unordered_map<std::uint64_t, std::uint64_t> lastValue_;
+};
+
+} // namespace limit
+
+#endif // LIMIT_BASELINE_COUNTER_SOURCE_HH

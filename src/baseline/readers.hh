@@ -5,8 +5,9 @@
  * The paper's headline comparison is between its fast userspace read
  * and the access methods in use at the time: perf_event syscall
  * reads, PAPI's library-over-syscall reads, and rusage-style time
- * accounting. This interface lets the benches instrument one workload
- * with any of them and compare cost/precision like for like.
+ * accounting. Each is a limit::CounterSource, so the benches can
+ * instrument one workload with any of them and compare cost/precision
+ * like for like — see source_set.hh for the standard vector of them.
  */
 
 #ifndef LIMIT_BASELINE_READERS_HH
@@ -15,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "baseline/counter_source.hh"
 #include "os/kernel.hh"
 #include "os/sysno.hh"
 #include "pec/session.hh"
@@ -23,22 +25,14 @@
 
 namespace limit::baseline {
 
-/** A way of obtaining a 64-bit virtualized counter value. */
-class CounterReader
-{
-  public:
-    virtual ~CounterReader() = default;
+/**
+ * Historical name for the unified interface; new code should say
+ * limit::CounterSource (see docs/API.md).
+ */
+using CounterReader = limit::CounterSource;
 
-    /** Current value of counter `ctr` for the calling thread. */
-    virtual sim::Task<std::uint64_t> read(sim::Guest &g, unsigned ctr)
-        = 0;
-
-    /** Method name for reports. */
-    virtual std::string name() const = 0;
-};
-
-/** The paper's method: PEC fast userspace read. */
-class PecReader : public CounterReader
+/** The paper's method: PEC fast userspace read over a session. */
+class PecReader : public limit::CounterSource
 {
   public:
     explicit PecReader(pec::PecSession &session) : session_(session) {}
@@ -50,6 +44,35 @@ class PecReader : public CounterReader
         co_return v;
     }
 
+    /**
+     * With the destructiveRead PMU feature the session's hardware
+     * read-and-clear is used (one instruction, no remembered state);
+     * otherwise the base-class software diff applies.
+     */
+    sim::Task<std::uint64_t>
+    readDelta(sim::Guest &g, unsigned ctr) override
+    {
+        if (session_.kernel()
+                .machine()
+                .cpu(0)
+                .pmu()
+                .features()
+                .destructiveRead) {
+            const std::uint64_t v = co_await session_.readDelta(g, ctr);
+            co_return v;
+        }
+        const std::uint64_t v =
+            co_await limit::CounterSource::readDelta(g, ctr);
+        co_return v;
+    }
+
+    limit::CounterCost
+    cost() const override
+    {
+        return {.syscallPerRead = false, .preciseEvents = true,
+                .libraryInstrs = 0};
+    }
+
     std::string
     name() const override
     {
@@ -57,12 +80,14 @@ class PecReader : public CounterReader
                pec::policyName(session_.config().policy);
     }
 
+    pec::PecSession &session() { return session_; }
+
   private:
     pec::PecSession &session_;
 };
 
 /** perf_event-style read: one heavyweight syscall per value. */
-class PerfSyscallReader : public CounterReader
+class PerfSyscallReader : public limit::CounterSource
 {
   public:
     sim::Task<std::uint64_t>
@@ -73,6 +98,13 @@ class PerfSyscallReader : public CounterReader
         co_return v;
     }
 
+    limit::CounterCost
+    cost() const override
+    {
+        return {.syscallPerRead = true, .preciseEvents = true,
+                .libraryInstrs = 0};
+    }
+
     std::string name() const override { return "perf-syscall"; }
 };
 
@@ -80,7 +112,7 @@ class PerfSyscallReader : public CounterReader
  * PAPI-class read: a userspace library layer (event-set lookup,
  * caching, bookkeeping) over a lighter kernel counter read.
  */
-class PapiReader : public CounterReader
+class PapiReader : public limit::CounterSource
 {
   public:
     sim::Task<std::uint64_t>
@@ -94,6 +126,13 @@ class PapiReader : public CounterReader
         co_return v;
     }
 
+    limit::CounterCost
+    cost() const override
+    {
+        return {.syscallPerRead = true, .preciseEvents = true,
+                .libraryInstrs = libraryInstrs};
+    }
+
     std::string name() const override { return "papi-like"; }
 
     /** Instructions of userspace library work per read. */
@@ -105,7 +144,7 @@ class PapiReader : public CounterReader
  * scheduler-tick-resolution time, not events — the "fast but useless
  * for events" end of the old trade-off.
  */
-class RusageReader : public CounterReader
+class RusageReader : public limit::CounterSource
 {
   public:
     sim::Task<std::uint64_t>
@@ -114,6 +153,13 @@ class RusageReader : public CounterReader
         const std::uint64_t v =
             co_await g.syscall(os::sysRusage, {0, 0, 0, 0});
         co_return v;
+    }
+
+    limit::CounterCost
+    cost() const override
+    {
+        return {.syscallPerRead = true, .preciseEvents = false,
+                .libraryInstrs = 0};
     }
 
     std::string name() const override { return "rusage"; }

@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "os/sysno.hh"
 #include "sim/cpu.hh"
+#include "trace/trace.hh"
 
 namespace limit::os {
 
@@ -160,6 +161,11 @@ Kernel::deschedule(sim::Cpu &cpu, Thread &t, ThreadState to,
         if (!pmu.features().taggedVirtualization && enabled > 0) {
             cpu.kernelWork(enabled * cpu.costs().counterSwitchCost / 2);
         }
+        if (enabled > 0) {
+            LIMIT_TRACE(machine_.tracer(), cpu.id(),
+                        trace::TraceEvent::CounterSave, cpu.now(),
+                        t.ctx.tid(), enabled);
+        }
     }
 
     if (voluntary)
@@ -168,6 +174,9 @@ Kernel::deschedule(sim::Cpu &cpu, Thread &t, ThreadState to,
         ++t.involuntarySwitches;
     ++contextSwitches_;
     t.state = to;
+    LIMIT_TRACE(machine_.tracer(), cpu.id(),
+                trace::TraceEvent::ContextSwitch, cpu.now(), t.ctx.tid(),
+                static_cast<std::uint64_t>(to), voluntary);
     cpu.setCurrent(nullptr);
 }
 
@@ -198,6 +207,11 @@ Kernel::installThread(sim::Cpu &cpu, Thread &t)
         for (unsigned i = 0; i < pmu.numCounters(); ++i) {
             if (pmu.config(i).enabled)
                 pmu.write(i, t.savedCounters[i]);
+        }
+        if (enabled > 0) {
+            LIMIT_TRACE(machine_.tracer(), cpu.id(),
+                        trace::TraceEvent::CounterRestore, cpu.now(),
+                        t.ctx.tid(), enabled);
         }
     }
 
@@ -322,6 +336,11 @@ Kernel::poll(sim::Tick now)
 void
 Kernel::pmuOverflow(sim::Cpu &cpu, unsigned counter, std::uint32_t wraps)
 {
+    LIMIT_TRACE(machine_.tracer(), cpu.id(),
+                trace::TraceEvent::PmiDelivered, cpu.now(),
+                cpu.current() ? cpu.current()->tid()
+                              : sim::invalidThread,
+                counter, wraps);
     // Handler first so it observes the true delivery time (skid
     // modelling depends on it); the PMI entry/exit cost is charged to
     // the same thread immediately after.
@@ -337,6 +356,24 @@ Kernel::pmuOverflow(sim::Cpu &cpu, unsigned counter, std::uint32_t wraps)
 sim::SyscallOutcome
 Kernel::syscall(sim::Cpu &cpu, sim::GuestContext &ctx, std::uint32_t nr,
                 const std::array<std::uint64_t, 4> &args)
+{
+    LIMIT_TRACE(machine_.tracer(), cpu.id(),
+                trace::TraceEvent::SyscallEnter, cpu.now(), ctx.tid(),
+                nr, args[0]);
+    const sim::SyscallOutcome out = syscallImpl(cpu, ctx, nr, args);
+    // For a blocking syscall the exit is stamped when the core moves
+    // on (the caller's result arrives at wake time); the record is
+    // still attributed to the calling thread.
+    LIMIT_TRACE(machine_.tracer(), cpu.id(),
+                trace::TraceEvent::SyscallExit, cpu.now(), ctx.tid(),
+                nr, out.value);
+    return out;
+}
+
+sim::SyscallOutcome
+Kernel::syscallImpl(sim::Cpu &cpu, sim::GuestContext &ctx,
+                    std::uint32_t nr,
+                    const std::array<std::uint64_t, 4> &args)
 {
     Thread &t = threadOf(ctx);
     const sim::CostModel &costs = cpu.costs();
@@ -437,9 +474,16 @@ Kernel::sysFutexWaitImpl(sim::Cpu &cpu, Thread &t,
     panic_if(word == nullptr, "futex wait on null word");
     // The op-granular global serialization makes this check atomic
     // with respect to every guest store.
-    if (*word != args[1])
+    if (*word != args[1]) {
+        LIMIT_TRACE(machine_.tracer(), cpu.id(),
+                    trace::TraceEvent::FutexWait, cpu.now(),
+                    t.ctx.tid(), args[0], 1 /* EAGAIN */);
         return {1 /* EAGAIN */, false};
+    }
 
+    LIMIT_TRACE(machine_.tracer(), cpu.id(),
+                trace::TraceEvent::FutexWait, cpu.now(), t.ctx.tid(),
+                args[0], 0);
     t.futexWord = word;
     futexQueues_[word].push_back(t.ctx.tid());
     deschedule(cpu, t, ThreadState::Blocked, /*voluntary=*/true);
@@ -459,8 +503,12 @@ Kernel::sysFutexWakeImpl(sim::Cpu &cpu, Thread &,
     const std::uint64_t max_wake = args[1];
 
     auto it = futexQueues_.find(word);
-    if (it == futexQueues_.end())
+    if (it == futexQueues_.end()) {
+        LIMIT_TRACE(machine_.tracer(), cpu.id(),
+                    trace::TraceEvent::FutexWake, cpu.now(),
+                    cpu.current()->tid(), args[0], 0);
         return {0, false};
+    }
 
     std::uint64_t woken = 0;
     auto &queue = it->second;
@@ -476,6 +524,9 @@ Kernel::sysFutexWakeImpl(sim::Cpu &cpu, Thread &,
     }
     if (queue.empty())
         futexQueues_.erase(it);
+    LIMIT_TRACE(machine_.tracer(), cpu.id(),
+                trace::TraceEvent::FutexWake, cpu.now(),
+                cpu.current()->tid(), args[0], woken);
     return {woken, false};
 }
 

@@ -131,6 +131,12 @@ class Kernel : public sim::KernelIf
     void wakeThread(Thread &t, sim::Tick earliest,
                     std::uint64_t wake_value);
 
+    /** Dispatch body of syscall(); the public entry point wraps it in
+     *  enter/exit tracepoints. */
+    sim::SyscallOutcome syscallImpl(
+        sim::Cpu &cpu, sim::GuestContext &ctx, std::uint32_t nr,
+        const std::array<std::uint64_t, 4> &args);
+
     /** @name Syscall implementations @{ */
     sim::SyscallOutcome sysFutexWaitImpl(
         sim::Cpu &cpu, Thread &t,

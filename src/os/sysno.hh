@@ -60,6 +60,27 @@ enum Sys : std::uint32_t {
     sysCount, // must be last
 };
 
+/** Short syscall name (nullptr for out-of-range numbers). */
+constexpr const char *
+sysName(std::uint32_t nr)
+{
+    switch (static_cast<Sys>(nr)) {
+      case sysNop: return "nop";
+      case sysYield: return "yield";
+      case sysSleep: return "sleep";
+      case sysFutexWait: return "futex-wait";
+      case sysFutexWake: return "futex-wake";
+      case sysPerfRead: return "perf-read";
+      case sysPerfIoctl: return "perf-ioctl";
+      case sysPapiRead: return "papi-read";
+      case sysRusage: return "rusage";
+      case sysIoSubmit: return "io-submit";
+      case sysGetTid: return "gettid";
+      case sysPmcConfig: return "pmc-config";
+      default: return nullptr;
+    }
+}
+
 /** Ops for sysPerfIoctl. */
 enum class PerfIoctlOp : std::uint64_t {
     Enable = 0,

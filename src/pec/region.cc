@@ -1,6 +1,10 @@
 #include "pec/region.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
+#include "sim/cpu.hh"
+#include "trace/trace.hh"
 
 namespace limit::pec {
 
@@ -10,6 +14,18 @@ RegionProfiler::RegionProfiler(PecSession &session,
 {
     fatal_if(config_.counters.empty(),
              "RegionProfiler needs at least one counter");
+    // Fail at construction, not at the first readDelta deep inside a
+    // guest coroutine: destructive reads are hardware enhancement #2
+    // and need the PMU feature bit.
+    fatal_if(config_.destructiveReads &&
+                 !session.kernel()
+                      .machine()
+                      .cpu(0)
+                      .pmu()
+                      .features()
+                      .destructiveRead,
+             "RegionProfilerConfig::destructiveReads requires the "
+             "destructiveRead PMU feature");
     for (unsigned c : config_.counters) {
         fatal_if(!session_.eventActive(c),
                  "RegionProfiler counter ", c, " has no active event");
@@ -79,6 +95,10 @@ RegionProfiler::enter(sim::Guest &g, sim::RegionId region)
         }
     }
     st.segStack.push_back(frame);
+    ++open_[region];
+    LIMIT_TRACE(session_.kernel().machine().tracer(),
+                g.context().lastCore, trace::TraceEvent::PecRegionEnter,
+                g.now(), g.tid(), region);
 }
 
 sim::Task<void>
@@ -100,6 +120,14 @@ RegionProfiler::exit(sim::Guest &g, sim::RegionId region)
     }
     st.segStack.pop_back();
     co_await g.regionExit();
+    auto open_it = open_.find(region);
+    panic_if(open_it == open_.end() || open_it->second == 0,
+             "RegionProfiler open-count underflow for region ", region);
+    if (--open_it->second == 0)
+        open_.erase(open_it);
+    LIMIT_TRACE(session_.kernel().machine().tracer(),
+                g.context().lastCore, trace::TraceEvent::PecRegionExit,
+                g.now(), g.tid(), region);
 
     RegionStats &rs = stats_[region];
     ++rs.entries;
@@ -128,6 +156,17 @@ RegionProfiler::regions() const
     out.reserve(stats_.size());
     for (const auto &[r, s] : stats_)
         out.push_back(r);
+    return out;
+}
+
+std::vector<std::pair<sim::RegionId, std::uint64_t>>
+RegionProfiler::openRegions() const
+{
+    std::vector<std::pair<sim::RegionId, std::uint64_t>> out;
+    out.reserve(open_.size());
+    for (const auto &[r, n] : open_)
+        out.emplace_back(r, n);
+    std::sort(out.begin(), out.end());
     return out;
 }
 

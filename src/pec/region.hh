@@ -87,6 +87,17 @@ class RegionProfiler
     /** All regions visited so far. */
     std::vector<sim::RegionId> regions() const;
 
+    /**
+     * Diagnostic: regions with entries still open (entered, never
+     * exited) and how many, sorted by region id. A visit that never
+     * exits contributes nothing to stats() — it has no delta to fold
+     * — so a non-empty result means the aggregates silently miss
+     * those visits (typically a guest that hit the stop request
+     * mid-region). Surfacing beats dropping.
+     */
+    std::vector<std::pair<sim::RegionId, std::uint64_t>>
+    openRegions() const;
+
     /** Calibrated per-visit overhead for counter `ctr`. */
     std::uint64_t overhead(unsigned ctr) const { return overhead_[ctr]; }
 
@@ -98,6 +109,8 @@ class RegionProfiler
     PecSession &session_;
     RegionProfilerConfig config_;
     std::unordered_map<sim::RegionId, RegionStats> stats_;
+    /** Currently-open visit count per region (enter - exit). */
+    std::unordered_map<sim::RegionId, std::uint64_t> open_;
     std::array<std::uint64_t, sim::maxPmuCounters> overhead_{};
     bool calibrated_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "sim/cpu.hh"
+#include "trace/trace.hh"
 
 namespace limit::pec {
 
@@ -9,6 +10,25 @@ namespace {
 
 /** Simulated VA range where per-thread counter pages live. */
 constexpr sim::Addr counterPageBase = 0x7f00'0000'0000ull;
+
+/**
+ * Emit a tracepoint from guest (coroutine) context, where no Cpu
+ * reference is at hand: the thread's last core supplies both the lane
+ * and the clock. Parameters are deliberately [[maybe_unused]] so the
+ * LIMITPP_TRACE=OFF build, where LIMIT_TRACE evaluates nothing, stays
+ * warning-clean.
+ */
+void
+traceGuest([[maybe_unused]] os::Kernel &kernel,
+           [[maybe_unused]] sim::GuestContext &ctx,
+           [[maybe_unused]] trace::TraceEvent ev,
+           [[maybe_unused]] std::uint64_t a0,
+           [[maybe_unused]] std::uint64_t a1 = 0)
+{
+    LIMIT_TRACE(kernel.machine().tracer(), ctx.lastCore, ev,
+                kernel.machine().cpu(ctx.lastCore).now(), ctx.tid(), a0,
+                a1);
+}
 
 } // namespace
 
@@ -119,6 +139,9 @@ PecSession::onOverflow(sim::Cpu &cpu, sim::GuestContext *ctx,
     st.ovfAccum[ctr] +=
         static_cast<std::uint64_t>(wraps) * cpu.pmu().wrapModulus();
     ++fixups_;
+    LIMIT_TRACE(cpu.machine().tracer(), cpu.id(),
+                trace::TraceEvent::PecOverflowFixup, cpu.now(),
+                ctx->tid(), ctr, wraps);
 
     if (config_.policy == OverflowPolicy::KernelFixup && ctx->inPmcRead) {
         // The paper's trick: the PMI handler notices the interrupted
@@ -126,6 +149,9 @@ PecSession::onOverflow(sim::Cpu &cpu, sim::GuestContext *ctx,
         // re-executes with a consistent (accumulator, counter) pair.
         ctx->pmcRestartRequested = true;
         ++restarts_;
+        LIMIT_TRACE(cpu.machine().tracer(), cpu.id(),
+                    trace::TraceEvent::PecReadRestart, cpu.now(),
+                    ctx->tid(), ctr);
     }
 }
 
@@ -181,6 +207,8 @@ PecSession::read(sim::Guest &g, unsigned ctr)
             if (a1 == a2)
                 co_return a1 + h;
             ++retries_;
+            traceGuest(kernel_, ctx,
+                       trace::TraceEvent::PecDoubleCheckRetry, ctr);
         }
       }
     }

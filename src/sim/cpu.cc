@@ -5,6 +5,7 @@
 #include "sim/kernel_if.hh"
 #include "sim/machine.hh"
 #include "sim/memory_if.hh"
+#include "trace/trace.hh"
 
 namespace limit::sim {
 
@@ -314,6 +315,10 @@ Cpu::drainOverflowsSlow()
                  "(counter width too small for the handler cost?)");
         const PendingPmi pmi = pendingPmis_.front();
         pendingPmis_.erase(pendingPmis_.begin());
+        LIMIT_TRACE(machine_.tracer(), id_,
+                    trace::TraceEvent::CounterOverflow, now_,
+                    current_ ? current_->tid() : invalidThread,
+                    pmi.counter, pmi.wraps);
         machine_.kernel()->pmuOverflow(*this, pmi.counter, pmi.wraps);
     }
     draining_ = false;

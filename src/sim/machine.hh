@@ -16,6 +16,10 @@
 #include "sim/region_table.hh"
 #include "sim/types.hh"
 
+namespace limit::trace {
+class Tracer;
+}
+
 namespace limit::sim {
 
 class KernelIf;
@@ -65,6 +69,14 @@ class Machine
     MemoryIf *memory() { return memory_; }
 
     /**
+     * Attach a trace sink (nullptr detaches). The machine does not
+     * own it; tracepoints across the kernel, CPUs, and PEC session
+     * find it here and stay silent while it is null.
+     */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+    trace::Tracer *tracer() const { return tracer_; }
+
+    /**
      * Ask guests to wind down once any core reaches `t`
      * (Guest::shouldStop turns true); does not forcibly stop them.
      */
@@ -100,6 +112,7 @@ class Machine
     FlatMemory flatMemory_;
     MemoryIf *memory_ = nullptr;
     KernelIf *kernel_ = nullptr;
+    trace::Tracer *tracer_ = nullptr;
     RegionTable regions_;
     Tick stopAt_ = 0;
     Tick nextPollAt_ = 0;

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Render a Tracer's contents for humans and for Perfetto.
+ *
+ * writeChromeTrace emits the Chrome trace-event JSON object format
+ * (https://chromium.org - trace_event format), which chrome://tracing
+ * and ui.perfetto.dev both load: one instant event per TraceRecord,
+ * with the simulated core as the pid lane and the simulated thread as
+ * the tid lane, timestamps in microseconds of simulated time at the
+ * nominal clock. Extra top-level keys ("metrics", "dropped") ride
+ * along; trace viewers ignore keys they do not know.
+ *
+ * asciiSummary prints the per-category / per-event hit counts as a
+ * terminal table — the quick look before reaching for the viewer.
+ */
+
+#ifndef LIMIT_TRACE_EXPORTER_HH
+#define LIMIT_TRACE_EXPORTER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace limit::trace {
+
+class MetricsRegistry;
+
+/** Knobs for writeChromeTrace. */
+struct ExportOptions
+{
+    /**
+     * Optional decoder for syscall numbers: given the nr of a
+     * syscall-enter/exit record, return a short name (or nullptr to
+     * fall back to the number). Lets the os layer label events
+     * without this library depending on it.
+     */
+    const char *(*syscallName)(std::uint32_t nr) = nullptr;
+};
+
+/**
+ * Write the full Chrome-trace JSON document to `os`. `metrics` (when
+ * non-null) is embedded as a top-level "metrics" object.
+ */
+void writeChromeTrace(std::ostream &os, const Tracer &tracer,
+                      const MetricsRegistry *metrics = nullptr,
+                      const ExportOptions &options = {});
+
+/** Per-category and per-event hit counts as an ASCII table. */
+std::string asciiSummary(const Tracer &tracer);
+
+} // namespace limit::trace
+
+#endif // LIMIT_TRACE_EXPORTER_HH

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Low-overhead structured tracing for the simulator itself.
+ *
+ * Every other layer reports *aggregate* numbers; when a bench cell
+ * looks wrong the question is always "what actually happened, in
+ * order?". A Tracer answers it: per-core fixed-capacity ring buffers
+ * of plain typed records (no allocation, no formatting, no locking on
+ * the recording path), filled from tracepoints in the kernel, the
+ * CPUs, and the PEC session, and rendered after the run by the
+ * exporter (Chrome trace-event JSON plus an ASCII summary).
+ *
+ * Recording costs one pointer test plus a handful of stores, and only
+ * on already-expensive paths (context switches, syscalls, PMIs —
+ * never the per-op hot path). With no tracer attached the pointer
+ * test is all that remains; compiling with LIMITPP_TRACE=OFF removes
+ * even that by expanding the LIMIT_TRACE macro to nothing. The class
+ * definitions themselves are always compiled (keeping every TU's view
+ * of the types identical); only emission is conditional.
+ */
+
+#ifndef LIMIT_TRACE_TRACE_HH
+#define LIMIT_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hh"
+
+/**
+ * Master switch for tracepoint emission. The build defines it to 0
+ * via the LIMITPP_TRACE=OFF CMake option; a TU may also define it
+ * before including this header (the OFF-expansion unit test does).
+ */
+#ifndef LIMITPP_TRACE_ENABLED
+#define LIMITPP_TRACE_ENABLED 1
+#endif
+
+namespace limit::trace {
+
+/** Everything a tracepoint can report. */
+enum class TraceEvent : std::uint8_t {
+    // os::Kernel — scheduling and syscalls.
+    ContextSwitch = 0, ///< a0 = new ThreadState, a1 = voluntary
+    SyscallEnter,      ///< a0 = syscall nr, a1 = first argument
+    SyscallExit,       ///< a0 = syscall nr, a1 = result
+    PmiDelivered,      ///< a0 = counter, a1 = wraps
+    FutexWait,         ///< a0 = futex word, a1 = 1 when EAGAIN
+    FutexWake,         ///< a0 = futex word, a1 = threads woken
+    // sim::Cpu / counter virtualization.
+    CounterOverflow,   ///< a0 = counter, a1 = wraps (hardware wrap)
+    CounterSave,       ///< a0 = enabled counters saved at switch-out
+    CounterRestore,    ///< a0 = enabled counters restored at switch-in
+    // pec::PecSession / RegionProfiler.
+    PecReadRestart,      ///< a0 = counter (kernel-fixup rewind)
+    PecDoubleCheckRetry, ///< a0 = counter (userspace retry)
+    PecOverflowFixup,    ///< a0 = counter, a1 = wraps absorbed
+    PecRegionEnter,      ///< a0 = region id
+    PecRegionExit,       ///< a0 = region id
+    NumEvents, // must be last
+};
+
+/** Number of distinct tracepoint types. */
+inline constexpr unsigned numTraceEvents =
+    static_cast<unsigned>(TraceEvent::NumEvents);
+
+/** Coarse grouping used by the exporter and the ASCII summary. */
+enum class TraceCategory : std::uint8_t {
+    Sched = 0,
+    Syscall,
+    Pmu,
+    Futex,
+    Pec,
+    NumCategories, // must be last
+};
+
+/** Number of categories. */
+inline constexpr unsigned numTraceCategories =
+    static_cast<unsigned>(TraceCategory::NumCategories);
+
+/** Stable lowercase-hyphen name (doubles as the JSON event name). */
+std::string_view traceEventName(TraceEvent e);
+
+/** Category of one tracepoint type. */
+TraceCategory traceEventCategory(TraceEvent e);
+
+/** Stable lowercase category name. */
+std::string_view traceCategoryName(TraceCategory c);
+
+/**
+ * One tracepoint hit. Plain data, 32 bytes; the meaning of a0/a1
+ * depends on the event (see TraceEvent and docs/TRACING.md).
+ */
+struct TraceRecord
+{
+    sim::Tick tick = 0;
+    std::uint64_t a0 = 0;
+    std::uint64_t a1 = 0;
+    sim::ThreadId tid = sim::invalidThread;
+    std::uint16_t core = 0;
+    TraceEvent event = TraceEvent::NumEvents;
+};
+
+/**
+ * Fixed-capacity overwrite-oldest ring of TraceRecords. Storage is
+ * allocated once at construction; push never allocates.
+ */
+class Ring
+{
+  public:
+    explicit Ring(std::size_t capacity)
+        : buf_(capacity > 0 ? capacity : 1)
+    {
+    }
+
+    void
+    push(const TraceRecord &r)
+    {
+        buf_[written_ % buf_.size()] = r;
+        ++written_;
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** Records currently held (≤ capacity). */
+    std::size_t
+    size() const
+    {
+        return written_ < buf_.size()
+            ? static_cast<std::size_t>(written_)
+            : buf_.size();
+    }
+
+    /** Total records ever pushed. */
+    std::uint64_t written() const { return written_; }
+
+    /** Records overwritten because the ring was full. */
+    std::uint64_t
+    dropped() const
+    {
+        return written_ > buf_.size() ? written_ - buf_.size() : 0;
+    }
+
+    /** Retained records, oldest first. */
+    std::vector<TraceRecord> snapshot() const;
+
+  private:
+    std::vector<TraceRecord> buf_;
+    std::uint64_t written_ = 0;
+};
+
+/**
+ * The per-run trace sink: one Ring per core plus aggregate per-event
+ * counts (the counts see every record, including ones the rings later
+ * overwrite). Attach to a sim::Machine with setTracer(); tracepoints
+ * find it through the machine.
+ */
+class Tracer
+{
+  public:
+    /** Default ring capacity per core (records, 32 bytes each). */
+    static constexpr std::size_t defaultCapacity = 1 << 16;
+
+    Tracer(unsigned cores, std::size_t capacity_per_core);
+
+    unsigned
+    numCores() const
+    {
+        return static_cast<unsigned>(rings_.size());
+    }
+
+    const Ring &ring(unsigned core) const;
+
+    void
+    record(sim::CoreId core, TraceEvent ev, sim::Tick tick,
+           sim::ThreadId tid, std::uint64_t a0 = 0, std::uint64_t a1 = 0)
+    {
+        TraceRecord r;
+        r.tick = tick;
+        r.a0 = a0;
+        r.a1 = a1;
+        r.tid = tid;
+        r.core = static_cast<std::uint16_t>(core);
+        r.event = ev;
+        rings_[core].push(r);
+        ++counts_[static_cast<unsigned>(ev)];
+    }
+
+    /** Hits of one tracepoint type (including overwritten records). */
+    std::uint64_t
+    count(TraceEvent e) const
+    {
+        return counts_[static_cast<unsigned>(e)];
+    }
+
+    /** Hits summed over one category. */
+    std::uint64_t categoryCount(TraceCategory c) const;
+
+    /** All hits across all cores. */
+    std::uint64_t totalRecorded() const;
+
+    /** Records lost to ring overwrite, all cores. */
+    std::uint64_t totalDropped() const;
+
+    /** Retained records from every core, merged in time order. */
+    std::vector<TraceRecord> merged() const;
+
+  private:
+    std::vector<Ring> rings_;
+    std::uint64_t counts_[numTraceEvents] = {};
+};
+
+} // namespace limit::trace
+
+/**
+ * Emit a tracepoint iff tracing is compiled in and `tracer_expr`
+ * yields a non-null Tracer*. With LIMITPP_TRACE_ENABLED == 0 the
+ * macro expands to an empty statement and evaluates nothing.
+ */
+#if LIMITPP_TRACE_ENABLED
+#define LIMIT_TRACE(tracer_expr, ...)                                   \
+    do {                                                                \
+        if (::limit::trace::Tracer *limit_tracer_ = (tracer_expr))      \
+            limit_tracer_->record(__VA_ARGS__);                         \
+    } while (0)
+#else
+#define LIMIT_TRACE(tracer_expr, ...)                                   \
+    do {                                                                \
+    } while (0)
+#endif
+
+#endif // LIMIT_TRACE_TRACE_HH

@@ -122,5 +122,55 @@ TEST(PercentOf, HandlesZeroDenominator)
     EXPECT_DOUBLE_EQ(analysis::percentOf(0, 10), 0.0);
 }
 
+TEST(BundleBuilder, SettersPropagateIntoTheBundle)
+{
+    SimBundle b(BundleOptions::builder()
+                    .cores(2)
+                    .pmuCounters(6)
+                    .pmuWidth(20)
+                    .destructiveRead()
+                    .quantum(123'456)
+                    .seed(42)
+                    .build());
+    EXPECT_EQ(b.machine().numCores(), 2u);
+    auto &pmu = b.machine().cpu(0).pmu();
+    EXPECT_EQ(pmu.numCounters(), 6u);
+    EXPECT_EQ(pmu.features().counterWidth, 20u);
+    EXPECT_TRUE(pmu.features().destructiveRead);
+    EXPECT_EQ(b.machine().config().costs.quantum, 123'456u);
+}
+
+TEST(BundleBuilder, TraceCapacityCreatesTracer)
+{
+    SimBundle untraced(BundleOptions::builder().cores(1).build());
+    EXPECT_EQ(untraced.tracer(), nullptr);
+
+    SimBundle traced(
+        BundleOptions::builder().cores(2).traceCapacity(128).build());
+    ASSERT_NE(traced.tracer(), nullptr);
+    EXPECT_EQ(traced.tracer()->numCores(), 2u);
+    EXPECT_EQ(traced.tracer()->ring(0).capacity(), 128u);
+    // The per-bundle metrics registry is usable either way.
+    traced.metrics().add("probe");
+    EXPECT_EQ(traced.metrics().counter("probe"), 1u);
+}
+
+TEST(BundleBuilderDeathTest, RejectsInvalidCombinations)
+{
+    EXPECT_DEATH(BundleOptions::builder().cores(0).build(),
+                 "at least one core");
+    EXPECT_DEATH(BundleOptions::builder().pmuCounters(0).build(),
+                 "pmuCounters must be in");
+    EXPECT_DEATH(BundleOptions::builder().pmuWidth(4).build(),
+                 "pmuWidth must be in");
+    EXPECT_DEATH(BundleOptions::builder().pmuWidth(70).build(),
+                 "pmuWidth must be in");
+    EXPECT_DEATH(BundleOptions::builder()
+                     .virtualizeCounters(false)
+                     .taggedVirtualization()
+                     .build(),
+                 "taggedVirtualization requires");
+}
+
 } // namespace
 } // namespace limit

@@ -426,6 +426,40 @@ TEST(RegionProfiler, DestructiveModeMatchesSnapshotMode)
     EXPECT_GE(destructive, 4000.0);
 }
 
+TEST(RegionProfiler, OpenRegionsReportsEnteredNeverExitedVisits)
+{
+    auto c = cfg();
+    c.costs.quantum = 50'000;
+    Machine m(c);
+    Kernel k(m);
+    PecSession s(k, policy(OverflowPolicy::KernelFixup));
+    s.addEvent(0, EventType::Instructions);
+    pec::RegionProfilerConfig rc;
+    rc.counters = {0};
+    pec::RegionProfiler prof(s, rc);
+    const auto closed = m.regions().intern("closed");
+    const auto dangling = m.regions().intern("dangling");
+
+    k.spawn("t", [&](Guest &g) -> Task<void> {
+        co_await prof.enter(g, closed);
+        co_await g.compute(500, straightLine());
+        co_await prof.exit(g, closed);
+        // Entered but never exited: the visit must not silently
+        // vanish from the profiler's view.
+        co_await prof.enter(g, dangling);
+        co_await g.compute(500, straightLine());
+        co_return;
+    });
+    m.run();
+
+    EXPECT_EQ(prof.stats(closed).entries, 1u);
+    EXPECT_EQ(prof.stats(dangling).entries, 0u);
+    const auto open = prof.openRegions();
+    ASSERT_EQ(open.size(), 1u);
+    EXPECT_EQ(open[0].first, dangling);
+    EXPECT_EQ(open[0].second, 1u);
+}
+
 TEST(RegionProfilerDeathTest, ExitWithoutEnterPanics)
 {
     EXPECT_DEATH(

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Pins the compile-out contract: with LIMITPP_TRACE_ENABLED forced to
+ * 0 in this translation unit, the LIMIT_TRACE macro must expand to
+ * nothing — evaluating neither the tracer expression nor the record
+ * arguments. This is what makes tracing free when configured out.
+ */
+
+#define LIMITPP_TRACE_ENABLED 0
+#include "trace/trace.hh"
+
+#include <gtest/gtest.h>
+
+namespace limit {
+namespace {
+
+TEST(TraceOff, MacroEvaluatesNoOperands)
+{
+    int evaluations = 0;
+    auto tracer = [&]() -> trace::Tracer * {
+        ++evaluations;
+        return nullptr;
+    };
+    auto arg = [&]() -> std::uint64_t {
+        ++evaluations;
+        return 7;
+    };
+    LIMIT_TRACE(tracer(), 0, trace::TraceEvent::ContextSwitch, arg(),
+                sim::invalidThread, arg());
+    (void)tracer;
+    (void)arg;
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST(TraceOff, TracerClassStillUsableDirectly)
+{
+    // Only the macro is conditional; the types stay defined so code
+    // holding a Tracer (exporter, bundle) links identically in both
+    // configurations.
+    trace::Tracer t(1, 4);
+    trace::TraceRecord r;
+    r.tick = 5;
+    r.event = trace::TraceEvent::FutexWait;
+    t.record(0, r.event, r.tick, 1, 0xcafe, 0);
+    EXPECT_EQ(t.totalRecorded(), 1u);
+    EXPECT_EQ(t.count(trace::TraceEvent::FutexWait), 1u);
+}
+
+} // namespace
+} // namespace limit
