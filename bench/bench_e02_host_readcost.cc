@@ -108,14 +108,14 @@ BENCHMARK(BM_proc_self_stat_read);
 } // namespace
 
 // Accept (and ignore) the suite-wide --seeds/--jobs/--trace/
-// --trace-cap flags so drivers can pass a uniform command line to
-// every bench; this one measures real host hardware, so simulated
-// seeds, fan-out and tracing do not apply.
+// --trace-cap/--faults flags so drivers can pass a uniform command
+// line to every bench; this one measures real host hardware, so
+// simulated seeds, fan-out, tracing and fault injection do not apply.
 int
 main(int argc, char **argv)
 {
     const char *suite_flags[] = {"--seeds", "--jobs", "--trace",
-                                 "--trace-cap"};
+                                 "--trace-cap", "--faults"};
     auto is_suite_flag = [&](const char *arg, bool &has_inline_value) {
         for (const char *flag : suite_flags) {
             const std::size_t len = std::strlen(flag);

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a fresh BENCH_selfperf.json against
+the committed baseline.
+
+Usage: check_selfperf.py BASELINE FRESH [--tolerance PCT]
+
+Only throughput keys (*_per_sec, *_scaling_x) are compared — a fresh
+run being slower than baseline by more than the tolerance fails;
+being faster only prints a note (the committed baseline should then
+be refreshed). Non-throughput keys (run_ticks, repetitions,
+parallel_jobs) must match exactly, since differing run shapes make
+the throughput numbers incomparable.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=15.0,
+                    help="allowed slowdown, percent (default 15)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    failures = []
+    for key, base_val in sorted(base.items()):
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh run")
+            continue
+        fresh_val = fresh[key]
+        if not (key.endswith("_per_sec") or key.endswith("_scaling_x")):
+            if fresh_val != base_val:
+                failures.append(
+                    f"{key}: run shape changed ({base_val} -> "
+                    f"{fresh_val}); refresh the baseline")
+            continue
+        if base_val <= 0:
+            failures.append(f"{key}: non-positive baseline {base_val}")
+            continue
+        delta_pct = 100.0 * (fresh_val - base_val) / base_val
+        marker = "ok"
+        if delta_pct < -args.tolerance:
+            marker = "FAIL"
+            failures.append(
+                f"{key}: {fresh_val:.2f} vs baseline {base_val:.2f} "
+                f"({delta_pct:+.1f}% > -{args.tolerance:.0f}% budget)")
+        elif delta_pct > args.tolerance:
+            marker = "faster (consider refreshing the baseline)"
+        print(f"  {key}: {base_val:.2f} -> {fresh_val:.2f} "
+              f"({delta_pct:+.1f}%) {marker}")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed (tolerance {args.tolerance:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "fault/plan.hh"
+
 namespace limit::analysis {
 
 namespace {
@@ -16,14 +18,17 @@ usage(const char *prog, const BenchDefaults &defaults,
     std::fprintf(
         out,
         "usage: %s [--seeds N] [--jobs N] [--trace FILE] "
-        "[--trace-cap N]\n"
+        "[--trace-cap N] [--faults SPEC]\n"
         "  --seeds N      %s (default %u)\n"
         "  --jobs N       host threads for parallel experiment "
         "fan-out; 0 = all hardware threads (default %u)\n"
         "  --trace FILE   write a Chrome-trace JSON (Perfetto-"
         "loadable) of one representative run\n"
         "  --trace-cap N  per-core trace ring capacity in records "
-        "(default %u)\n",
+        "(default %u)\n"
+        "  --faults SPEC  deterministic fault plan, e.g. "
+        "'overflow-read:step=2;drop-pmi:nth=3' "
+        "(see docs/FAULTS.md)\n",
         prog,
         what_seeds ? what_seeds
                    : "repetitions averaged per table point",
@@ -31,18 +36,38 @@ usage(const char *prog, const BenchDefaults &defaults,
     std::exit(exit_code);
 }
 
-unsigned
-parseUnsigned(const char *prog, const char *flag, const char *text)
+/**
+ * Parse a decimal unsigned into `out`; on failure fill `error` with a
+ * message naming the flag and the offending text. Rejects negatives
+ * explicitly (strtoul would silently wrap "-1" to a huge value).
+ */
+bool
+parseUnsigned(const char *flag, const char *text, unsigned &out,
+              std::string &error)
 {
-    char *end = nullptr;
-    const unsigned long v = std::strtoul(text ? text : "", &end, 10);
-    if (text == nullptr || *text == '\0' || *end != '\0' ||
-        v > 100'000'000) {
-        std::fprintf(stderr, "%s: bad value for %s: '%s'\n", prog, flag,
-                     text ? text : "");
-        std::exit(2);
+    if (text == nullptr || *text == '\0') {
+        error = std::string(flag) + " needs a value";
+        return false;
     }
-    return static_cast<unsigned>(v);
+    if (*text == '-') {
+        error = std::string(flag) + " must not be negative: '" + text +
+                "'";
+        return false;
+    }
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (*end != '\0') {
+        error = std::string("bad value for ") + flag + ": '" + text +
+                "' (not a decimal integer)";
+        return false;
+    }
+    if (v > 100'000'000) {
+        error = std::string(flag) + " value " + text +
+                " is out of range (max 100000000)";
+        return false;
+    }
+    out = static_cast<unsigned>(v);
+    return true;
 }
 
 /**
@@ -67,51 +92,80 @@ flagValue(const char *flag, const char *arg, int argc, char **argv,
 
 } // namespace
 
-BenchArgs
-parseBenchArgs(int argc, char **argv, BenchDefaults defaults,
-               const char *what_seeds)
+BenchParse
+tryParseBenchArgs(int argc, char **argv, BenchDefaults defaults)
 {
-    BenchArgs args;
-    args.seeds = defaults.seeds;
-    args.jobs = defaults.jobs;
-    const char *prog = argc > 0 ? argv[0] : "bench";
+    BenchParse p;
+    p.args.seeds = defaults.seeds;
+    p.args.jobs = defaults.jobs;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         const char *value = nullptr;
         if (std::strcmp(arg, "--help") == 0 ||
             std::strcmp(arg, "-h") == 0) {
-            usage(prog, defaults, what_seeds, 0);
+            p.help = true;
+            return p;
         } else if ((value = flagValue("--seeds", arg, argc, argv, i))) {
-            args.seeds = parseUnsigned(prog, "--seeds", value);
-            if (args.seeds == 0) {
-                std::fprintf(stderr, "%s: --seeds must be >= 1\n", prog);
-                std::exit(2);
+            if (!parseUnsigned("--seeds", value, p.args.seeds, p.error))
+                return p;
+            if (p.args.seeds == 0) {
+                p.error = "--seeds must be >= 1";
+                return p;
             }
         } else if ((value = flagValue("--jobs", arg, argc, argv, i))) {
-            args.jobs = parseUnsigned(prog, "--jobs", value);
+            if (!parseUnsigned("--jobs", value, p.args.jobs, p.error))
+                return p;
         } else if ((value =
                         flagValue("--trace-cap", arg, argc, argv, i))) {
-            args.traceCap = parseUnsigned(prog, "--trace-cap", value);
-            if (args.traceCap == 0) {
-                std::fprintf(stderr, "%s: --trace-cap must be >= 1\n",
-                             prog);
-                std::exit(2);
+            if (!parseUnsigned("--trace-cap", value, p.args.traceCap,
+                               p.error)) {
+                return p;
+            }
+            if (p.args.traceCap == 0) {
+                p.error = "--trace-cap must be >= 1";
+                return p;
             }
         } else if ((value = flagValue("--trace", arg, argc, argv, i))) {
             if (*value == '\0') {
-                std::fprintf(stderr, "%s: --trace needs a file name\n",
-                             prog);
-                std::exit(2);
+                p.error = "--trace needs a file name";
+                return p;
             }
-            args.trace = value;
+            p.args.trace = value;
+        } else if ((value = flagValue("--faults", arg, argc, argv, i))) {
+            if (*value == '\0') {
+                p.error = "--faults needs a plan spec";
+                return p;
+            }
+            fault::Plan plan;
+            std::string plan_error;
+            if (!fault::Plan::parse(value, plan, plan_error)) {
+                p.error = std::string("bad --faults spec: ") +
+                          plan_error;
+                return p;
+            }
+            p.args.faults = value;
         } else {
-            std::fprintf(stderr, "%s: unknown argument '%s'\n", prog,
-                         arg);
-            usage(prog, defaults, what_seeds, 2);
+            p.error = std::string("unknown argument '") + arg + "'";
+            return p;
         }
     }
-    return args;
+    return p;
+}
+
+BenchArgs
+parseBenchArgs(int argc, char **argv, BenchDefaults defaults,
+               const char *what_seeds)
+{
+    const char *prog = argc > 0 ? argv[0] : "bench";
+    const BenchParse p = tryParseBenchArgs(argc, argv, defaults);
+    if (p.help)
+        usage(prog, defaults, what_seeds, 0);
+    if (!p.ok()) {
+        std::fprintf(stderr, "%s: %s\n", prog, p.error.c_str());
+        usage(prog, defaults, what_seeds, 2);
+    }
+    return p.args;
 }
 
 } // namespace limit::analysis

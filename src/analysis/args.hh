@@ -12,10 +12,14 @@
  *   --trace FILE     write a Chrome-trace JSON of one representative
  *                    run (Perfetto-loadable; see docs/TRACING.md)
  *   --trace-cap N    per-core trace ring capacity in records
+ *   --faults SPEC    deterministic fault plan injected into runs that
+ *                    support it (grammar in docs/FAULTS.md; validated
+ *                    here so typos fail fast even in benches that
+ *                    ignore the plan)
  * so `bench_e04 --seeds 16 --jobs 8 --trace e04.json` deepens,
  * parallelizes, and instruments a reproduction run without editing
  * source. Flags also accept the --flag=value spelling. Parsing is
- * deliberately tiny — four flags and --help — rather than a general
+ * deliberately tiny — five flags and --help — rather than a general
  * option library.
  */
 
@@ -35,6 +39,9 @@ struct BenchArgs
     std::string trace;
     /** Per-core trace ring capacity (records). */
     unsigned traceCap = 65536;
+    /** Fault-plan spec (--faults); empty = no injection. Already
+        validated by fault::Plan::parse — benches re-parse to use it. */
+    std::string faults;
 
     bool tracing() const { return !trace.empty(); }
 };
@@ -42,7 +49,7 @@ struct BenchArgs
 /**
  * The per-bench knob defaults — deliberately only the fields benches
  * customize, so `{.seeds = 3, .jobs = 0}` initializes it exhaustively
- * (tracing always defaults to off).
+ * (tracing and fault injection always default to off).
  */
 struct BenchDefaults
 {
@@ -51,11 +58,35 @@ struct BenchDefaults
 };
 
 /**
- * Parse --seeds/--jobs/--trace/--trace-cap from argv, starting from
- * the given defaults. Prints usage and exits(0) on --help/-h; prints
- * an error and exits(2) on unknown flags or malformed values.
- * `what_seeds` is the one-line meaning of --seeds shown in --help
- * (nullptr for the generic wording).
+ * Outcome of a parse attempt. Exactly one of three shapes: success
+ * (`ok() && !help`), a --help request (`ok() && help`), or a malformed
+ * command line (`!ok()`, with a one-line reason naming the offending
+ * flag and value).
+ */
+struct BenchParse
+{
+    BenchArgs args;
+    bool help = false;
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Parse without touching the process: no printing, no exit. This is
+ * the testable core — every rejection path (unknown flag, non-numeric
+ * or negative value, missing operand, out-of-range, bad --faults
+ * grammar) comes back as BenchParse::error.
+ */
+BenchParse tryParseBenchArgs(int argc, char **argv,
+                             BenchDefaults defaults);
+
+/**
+ * Parse --seeds/--jobs/--trace/--trace-cap/--faults from argv,
+ * starting from the given defaults. Prints usage and exits(0) on
+ * --help/-h; prints an error and exits(2) on unknown flags or
+ * malformed values. `what_seeds` is the one-line meaning of --seeds
+ * shown in --help (nullptr for the generic wording).
  */
 BenchArgs parseBenchArgs(int argc, char **argv, BenchDefaults defaults,
                          const char *what_seeds = nullptr);

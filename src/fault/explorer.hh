@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bounded adversarial exploration of the PEC read window.
+ *
+ * The chaos and property tests probe the overflow/preemption races
+ * with seeded randomness — they *hope* a seed lands a fault inside the
+ * few-instruction window. The Explorer replaces hope with enumeration:
+ * it runs one small victim/competitor scenario once per element of the
+ * cross product
+ *
+ *   ({no fault} ∪ {preempt at step s, occurrence n})
+ * × ({no fault} ∪ {overflow at step s, occurrence n})
+ *
+ * over every read-window step the chosen policy visits and every
+ * occurrence up to the read count — every way a forced context switch
+ * and a forced counter wrap can land inside (or straddle) the window,
+ * up to the bound. Each run checks every read the victim performs
+ * against the ground-truth ledger (plus the controller's injected
+ * bias), so a pass is a small model-checking proof: no interleaving
+ * within the bound can make the policy return a wrong count.
+ *
+ * Safe policies (kernel-fixup, double-check) must report zero
+ * violations; naive-sum must not (its undercount-by-2^width is exactly
+ * what the enumeration exposes); policy none is checked modulo the
+ * counter width (all a bare rdpmc promises). Failing runs are reported
+ * as `--faults` replay strings.
+ */
+
+#ifndef LIMIT_FAULT_EXPLORER_HH
+#define LIMIT_FAULT_EXPLORER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pec/session.hh"
+#include "sim/types.hh"
+
+namespace limit::fault {
+
+/** Exploration bounds and scenario shape. */
+struct ExplorerOptions
+{
+    /** Read policy under test. */
+    pec::OverflowPolicy policy = pec::OverflowPolicy::DoubleCheck;
+    /** Reads the victim performs per run (also bounds occurrences). */
+    unsigned reads = 3;
+    /** Victim instructions between reads. */
+    std::uint64_t workPerRead = 400;
+    /** Counter width; small widths make wraps reachable. */
+    unsigned counterWidth = 16;
+    /** Events left before wrap when the overflow fault arms (≥ 1). */
+    std::uint64_t overflowMargin = 1;
+    /** Scheduler quantum (small: natural preemptions too). */
+    sim::Tick quantum = 20'000;
+    /** Kernel RNG seed (varies competitor placement noise). */
+    std::uint64_t seed = 1;
+};
+
+/** What the enumeration found. */
+struct ExplorerResult
+{
+    /** Runs executed (size of the enumerated cross product). */
+    std::uint64_t interleavings = 0;
+    /** Individual reads checked across all runs. */
+    std::uint64_t reads = 0;
+    /** Reads whose result broke the exactness invariant. */
+    std::uint64_t violations = 0;
+    /** Total faults injected across all runs. */
+    std::uint64_t injected = 0;
+    /** Replay strings (--faults grammar) of the violating runs. */
+    std::vector<std::string> failingPlans;
+};
+
+/**
+ * Enumerate every bounded interleaving for `opts` and verify read
+ * exactness in each. Deterministic: same options, same result.
+ */
+ExplorerResult explore(const ExplorerOptions &opts);
+
+} // namespace limit::fault
+
+#endif // LIMIT_FAULT_EXPLORER_HH

@@ -1,8 +1,10 @@
 #include "os/kernel.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/logging.hh"
+#include "fault/controller.hh"
 #include "os/sysno.hh"
 #include "sim/cpu.hh"
 #include "trace/trace.hh"
@@ -148,13 +150,22 @@ Kernel::deschedule(sim::Cpu &cpu, Thread &t, ThreadState to,
 
     if (config_.virtualizeCounters) {
         sim::Pmu &pmu = cpu.pmu();
+        fault::FaultController *const faults = machine_.faults();
         unsigned enabled = 0;
         for (unsigned i = 0; i < pmu.numCounters(); ++i) {
             if (!pmu.config(i).enabled)
                 continue;
             ++enabled;
-            t.savedCounters[i] =
-                perf_.adjustSavedValue(i, pmu.read(i));
+            std::uint64_t v = perf_.adjustSavedValue(i, pmu.read(i));
+            if (faults) {
+                const fault::SaveRestoreAction act =
+                    faults->onCounterSave(cpu, t.ctx.tid(), i, v);
+                if (act.skip)
+                    continue; // stale savedCounters[i] persists
+                if (act.corrupt)
+                    v = act.value;
+            }
+            t.savedCounters[i] = v;
         }
         // Tagged virtualization (hardware enhancement #3) swaps the
         // counter set in hardware: no per-counter MSR cost.
@@ -194,6 +205,7 @@ Kernel::installThread(sim::Cpu &cpu, Thread &t)
 
     if (config_.virtualizeCounters) {
         sim::Pmu &pmu = cpu.pmu();
+        fault::FaultController *const faults = machine_.faults();
         unsigned enabled = 0;
         for (unsigned i = 0; i < pmu.numCounters(); ++i) {
             if (pmu.config(i).enabled)
@@ -205,8 +217,18 @@ Kernel::installThread(sim::Cpu &cpu, Thread &t)
         // restore's own kernel cycles are not visible in the restored
         // values (modelled measurement fuzz for kernel-mode counters).
         for (unsigned i = 0; i < pmu.numCounters(); ++i) {
-            if (pmu.config(i).enabled)
-                pmu.write(i, t.savedCounters[i]);
+            if (!pmu.config(i).enabled)
+                continue;
+            std::uint64_t v = t.savedCounters[i];
+            if (faults) {
+                const fault::SaveRestoreAction act =
+                    faults->onCounterRestore(cpu, t.ctx.tid(), i, v);
+                if (act.skip)
+                    continue; // stale hardware value persists
+                if (act.corrupt)
+                    v = act.value;
+            }
+            pmu.write(i, v);
         }
         if (enabled > 0) {
             LIMIT_TRACE(machine_.tracer(), cpu.id(),
@@ -301,32 +323,82 @@ bool
 Kernel::poll(sim::Tick now)
 {
     bool woke = false;
-    while (!sleepers_.empty()) {
-        const auto [wake_at, tid] = sleepers_.top();
-        Thread &t = thread(tid);
-        if (t.state != ThreadState::Sleeping) {
-            sleepers_.pop(); // stale entry
-            continue;
-        }
-        if (now == sim::maxTick) {
-            // Everything is idle: wake only the earliest sleeper; the
-            // machine loop re-polls with real time afterwards.
+    for (;;) {
+        // Drop stale heap tops so the earliest-event pick below only
+        // sees live entries.
+        while (!sleepers_.empty() &&
+               thread(sleepers_.top().second).state !=
+                   ThreadState::Sleeping) {
             sleepers_.pop();
-            wakeThread(t, wake_at, 0);
-            woke = true;
+        }
+        while (!spuriousWakes_.empty()) {
+            const Thread &t = thread(spuriousWakes_.top().second);
+            if (t.state == ThreadState::Blocked && t.futexWord)
+                break;
+            spuriousWakes_.pop(); // woken for real in the meantime
+        }
+
+        const bool have_sleep = !sleepers_.empty();
+        const bool have_spurious = !spuriousWakes_.empty();
+        if (!have_sleep && !have_spurious)
+            break;
+        const bool spurious_first =
+            have_spurious &&
+            (!have_sleep ||
+             spuriousWakes_.top().first < sleepers_.top().first);
+        const sim::Tick at = spurious_first ? spuriousWakes_.top().first
+                                            : sleepers_.top().first;
+        if (now != sim::maxTick && at > now)
+            break;
+        if (spurious_first) {
+            const sim::ThreadId tid = spuriousWakes_.top().second;
+            spuriousWakes_.pop();
+            deliverSpuriousWake(thread(tid), at);
+        } else {
+            const sim::ThreadId tid = sleepers_.top().second;
+            sleepers_.pop();
+            wakeThread(thread(tid), at, 0);
+        }
+        woke = true;
+        if (now == sim::maxTick) {
+            // Everything is idle: wake only the earliest event; the
+            // machine loop re-polls with real time afterwards.
             break;
         }
-        if (wake_at > now)
-            break;
-        sleepers_.pop();
-        wakeThread(t, wake_at, 0);
-        woke = true;
     }
     // Tell the run loop when the next poll can matter. A stale heap
     // top only makes the hint conservative (an early, no-op poll).
-    machine_.setNextPoll(sleepers_.empty() ? sim::maxTick
-                                           : sleepers_.top().first);
+    armPollHint();
     return woke;
+}
+
+void
+Kernel::deliverSpuriousWake(Thread &t, sim::Tick at)
+{
+    auto it = futexQueues_.find(t.futexWord);
+    if (it != futexQueues_.end()) {
+        auto &queue = it->second;
+        queue.erase(std::remove(queue.begin(), queue.end(), t.ctx.tid()),
+                    queue.end());
+        if (queue.empty())
+            futexQueues_.erase(it);
+    }
+    // A real spurious wakeup is indistinguishable from a futexWake to
+    // the waiter: same trace event, same success result.
+    LIMIT_TRACE(machine_.tracer(), t.ctx.lastCore,
+                trace::TraceEvent::FutexWake, at, t.ctx.tid(),
+                reinterpret_cast<std::uint64_t>(t.futexWord), 1);
+    wakeThread(t, at, 0);
+}
+
+void
+Kernel::armPollHint()
+{
+    sim::Tick next =
+        sleepers_.empty() ? sim::maxTick : sleepers_.top().first;
+    if (!spuriousWakes_.empty() && spuriousWakes_.top().first < next)
+        next = spuriousWakes_.top().first;
+    machine_.setNextPoll(next);
 }
 
 // ---------------------------------------------------------------------
@@ -377,6 +449,14 @@ Kernel::syscallImpl(sim::Cpu &cpu, sim::GuestContext &ctx,
 {
     Thread &t = threadOf(ctx);
     const sim::CostModel &costs = cpu.costs();
+
+    if (fault::FaultController *f = machine_.faults()) {
+        // Injected slow-path stall: extra kernel work charged to the
+        // caller before the handler runs.
+        const sim::Tick stall = f->onSyscallEnter(cpu, t.ctx.tid(), nr);
+        if (stall > 0)
+            cpu.kernelWork(stall);
+    }
 
     switch (static_cast<Sys>(nr)) {
       case sysNop:
@@ -456,7 +536,7 @@ Kernel::sysSleepImpl(sim::Cpu &cpu, Thread &t, sim::Tick duration,
     cpu.kernelWork(cost);
     t.wakeTick = cpu.now() + duration;
     sleepers_.emplace(t.wakeTick, t.ctx.tid());
-    machine_.setNextPoll(sleepers_.top().first);
+    armPollHint();
     deschedule(cpu, t, ThreadState::Sleeping, /*voluntary=*/true);
     Thread *next = pickNext(cpu.id());
     if (next)
@@ -486,6 +566,13 @@ Kernel::sysFutexWaitImpl(sim::Cpu &cpu, Thread &t,
                 args[0], 0);
     t.futexWord = word;
     futexQueues_[word].push_back(t.ctx.tid());
+    if (fault::FaultController *f = machine_.faults()) {
+        const sim::Tick in = f->onFutexBlock(cpu, t.ctx.tid(), word);
+        if (in > 0) {
+            spuriousWakes_.emplace(cpu.now() + in, t.ctx.tid());
+            armPollHint();
+        }
+    }
     deschedule(cpu, t, ThreadState::Blocked, /*voluntary=*/true);
     Thread *next = pickNext(cpu.id());
     if (next)

@@ -131,6 +131,15 @@ class Kernel : public sim::KernelIf
     void wakeThread(Thread &t, sim::Tick earliest,
                     std::uint64_t wake_value);
 
+    /**
+     * Deliver a fault-injected spurious futex wakeup: drop `t` from its
+     * wait queue and wake it with the normal success result.
+     */
+    void deliverSpuriousWake(Thread &t, sim::Tick at);
+
+    /** Re-arm the machine's poll hint from both timed-wake heaps. */
+    void armPollHint();
+
     /** Dispatch body of syscall(); the public entry point wraps it in
      *  enter/exit tracepoints. */
     sim::SyscallOutcome syscallImpl(
@@ -165,9 +174,13 @@ class Kernel : public sim::KernelIf
 
     /** Min-heap of (wakeTick, tid). */
     using SleepEntry = std::pair<sim::Tick, sim::ThreadId>;
-    std::priority_queue<SleepEntry, std::vector<SleepEntry>,
-                        std::greater<>>
-        sleepers_;
+    using SleepHeap = std::priority_queue<SleepEntry,
+                                          std::vector<SleepEntry>,
+                                          std::greater<>>;
+    SleepHeap sleepers_;
+
+    /** Fault-injected spurious futex wakeups still to deliver. */
+    SleepHeap spuriousWakes_;
 
     std::array<PmiHandler, sim::maxPmuCounters> pmiHandlers_{};
 };

@@ -37,6 +37,17 @@ MuxSession::configureCurrent()
 void
 MuxSession::harvest(sim::Tick now)
 {
+    // No-double-count invariant: each thread's contribution to the
+    // closing window is one continuous virtualized register — zeroed
+    // everywhere (hardware and saved) by configureCounter at window
+    // start, read exactly once here, from the live PMU when the
+    // thread is on a core and from its saved slot otherwise. A
+    // preemption inside the window moves the value through the
+    // save/restore path but never duplicates it. The one way to count
+    // a window twice is harvesting again without the reconfigure in
+    // between, which only the post-finish path could do — rotate()
+    // and finish() both refuse after finish.
+    panic_if(finished_, "MuxSession harvest after finish");
     const unsigned n = kernel_.numThreads();
     if (counts_.size() < n)
         counts_.resize(n, std::vector<std::uint64_t>(events_.size(), 0));
@@ -59,8 +70,13 @@ MuxSession::harvest(sim::Tick now)
 sim::Task<void>
 MuxSession::rotate(sim::Guest &g)
 {
+    panic_if(finished_, "MuxSession rotate after finish");
     // Pay for the MSR rewrites in guest time first, then perform the
-    // host-side reconfiguration at that same instant.
+    // host-side reconfiguration at that same instant. The rotator may
+    // be preempted between the syscall op and the host-side harvest
+    // below (quantum expiry is checked after every op); that is safe:
+    // the outgoing event keeps counting into the same virtualized
+    // per-thread values the harvest will read, whenever it runs.
     co_await g.syscall(os::sysPmcConfig, {1, 0, 0, 0});
     harvest(g.now());
     current_ = (current_ + 1) % events_.size();
@@ -74,6 +90,11 @@ MuxSession::finish(sim::Tick now)
     panic_if(finished_, "MuxSession::finish called twice");
     harvest(now);
     finished_ = true;
+    // Stop counting: anything the machine executes after the final
+    // harvest must not accumulate into values a later (buggy) harvest
+    // could pick up a second time.
+    sim::CounterConfig off;
+    kernel_.configureCounter(counter_, off);
 }
 
 std::uint64_t

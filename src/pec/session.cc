@@ -1,6 +1,7 @@
 #include "pec/session.hh"
 
 #include "base/logging.hh"
+#include "fault/controller.hh"
 #include "sim/cpu.hh"
 #include "trace/trace.hh"
 
@@ -28,6 +29,20 @@ traceGuest([[maybe_unused]] os::Kernel &kernel,
     LIMIT_TRACE(kernel.machine().tracer(), ctx.lastCore, ev,
                 kernel.machine().cpu(ctx.lastCore).now(), ctx.tid(), a0,
                 a1);
+}
+
+/**
+ * Report a read-window position to the fault controller, if any. Called
+ * from guest context between ops: a controller mutating the machine
+ * here (forcing end-of-quantum, arming an overflow) perturbs the run
+ * before the read sequence's next op executes.
+ */
+void
+faultReadStep(os::Kernel &kernel, sim::GuestContext &ctx, unsigned ctr,
+              fault::ReadStep step)
+{
+    if (fault::FaultController *f = kernel.machine().faults())
+        f->onPecReadStep(ctx, ctr, step);
 }
 
 } // namespace
@@ -165,14 +180,20 @@ PecSession::read(sim::Guest &g, unsigned ctr)
     switch (config_.policy) {
       case OverflowPolicy::None: {
         // Bare rdpmc: width-limited, unvirtualized against overflow.
+        faultReadStep(kernel_, ctx, ctr, fault::ReadStep::Enter);
         const std::uint64_t h = co_await g.pmcRead(ctr);
+        faultReadStep(kernel_, ctx, ctr, fault::ReadStep::AfterRdpmc);
         co_return h;
       }
 
       case OverflowPolicy::NaiveSum: {
+        faultReadStep(kernel_, ctx, ctr, fault::ReadStep::Enter);
         co_await g.load(slot); // accumulator load
         const std::uint64_t a = st.ovfAccum[ctr];
+        faultReadStep(kernel_, ctx, ctr,
+                      fault::ReadStep::AfterAccumLoad);
         const std::uint64_t h = co_await g.pmcRead(ctr);
+        faultReadStep(kernel_, ctx, ctr, fault::ReadStep::AfterRdpmc);
         co_await g.compute(6); // sum + return
         co_return a + h;
       }
@@ -183,11 +204,16 @@ PecSession::read(sim::Guest &g, unsigned ctr)
             // bounds are known to the kernel by PC range).
             ctx.inPmcRead = true;
             ctx.pmcRestartRequested = false;
+            faultReadStep(kernel_, ctx, ctr, fault::ReadStep::Enter);
             co_await g.compute(2);
             co_await g.load(slot);
             const std::uint64_t a = st.ovfAccum[ctr];
+            faultReadStep(kernel_, ctx, ctr,
+                          fault::ReadStep::AfterAccumLoad);
             const std::uint64_t h = co_await g.pmcRead(ctr);
             ctx.inPmcRead = false;
+            faultReadStep(kernel_, ctx, ctr,
+                          fault::ReadStep::AfterRdpmc);
             co_await g.compute(4); // sum, exit marker, return
             if (!ctx.pmcRestartRequested)
                 co_return a + h;
@@ -198,11 +224,18 @@ PecSession::read(sim::Guest &g, unsigned ctr)
 
       case OverflowPolicy::DoubleCheck: {
         for (;;) {
+            faultReadStep(kernel_, ctx, ctr, fault::ReadStep::Enter);
             co_await g.load(slot);
             const std::uint64_t a1 = st.ovfAccum[ctr];
+            faultReadStep(kernel_, ctx, ctr,
+                          fault::ReadStep::AfterAccumLoad);
             const std::uint64_t h = co_await g.pmcRead(ctr);
+            faultReadStep(kernel_, ctx, ctr,
+                          fault::ReadStep::AfterRdpmc);
             co_await g.load(slot);
             const std::uint64_t a2 = st.ovfAccum[ctr];
+            faultReadStep(kernel_, ctx, ctr,
+                          fault::ReadStep::AfterRecheckLoad);
             co_await g.compute(6); // compare + sum + return
             if (a1 == a2)
                 co_return a1 + h;
@@ -227,7 +260,10 @@ PecSession::readDelta(sim::Guest &g, unsigned ctr)
     // accumulator is harvested and reset alongside. Any wrap absorbed
     // by the PMI during the read is already in the accumulator by the
     // time the cleared value is returned (the PMI retires first).
+    faultReadStep(kernel_, g.context(), ctr, fault::ReadStep::Enter);
     const std::uint64_t h = co_await g.pmcReadClear(ctr);
+    faultReadStep(kernel_, g.context(), ctr,
+                  fault::ReadStep::AfterRdpmc);
     co_await g.load(slot);
     const std::uint64_t a = st.ovfAccum[ctr];
     st.ovfAccum[ctr] = 0;

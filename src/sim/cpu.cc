@@ -1,7 +1,9 @@
 #include "sim/cpu.hh"
 
 #include <cmath>
+#include <cstddef>
 
+#include "fault/controller.hh"
 #include "sim/kernel_if.hh"
 #include "sim/machine.hh"
 #include "sim/memory_if.hh"
@@ -309,17 +311,43 @@ Cpu::drainOverflowsSlow()
         return; // the outer drain loop will pick up new PMIs
     draining_ = true;
     unsigned guard = 0;
-    while (!pendingPmis_.empty()) {
+    // Index scan instead of front-pop: a fault controller may hold a
+    // PMI back (notBefore in the future) while later ones deliver, and
+    // each delivery can queue new PMIs, so restart from 0 after one.
+    std::size_t i = 0;
+    while (i < pendingPmis_.size()) {
+        PendingPmi &pending = pendingPmis_[i];
+        if (!pending.vetted) {
+            pending.vetted = true;
+            if (fault::FaultController *f = machine_.faults()) {
+                const fault::PmiAction act =
+                    f->onPmiDeliver(*this, pending.counter,
+                                    pending.wraps);
+                if (act.drop) {
+                    pendingPmis_.erase(pendingPmis_.begin() +
+                                       static_cast<std::ptrdiff_t>(i));
+                    continue;
+                }
+                if (act.delay > 0)
+                    pending.notBefore = now_ + act.delay;
+            }
+        }
+        if (pending.notBefore > now_) {
+            ++i; // still held back; look at later arrivals
+            continue;
+        }
         panic_if(++guard > 256,
                  "PMI storm: overflow handler keeps re-overflowing "
                  "(counter width too small for the handler cost?)");
-        const PendingPmi pmi = pendingPmis_.front();
-        pendingPmis_.erase(pendingPmis_.begin());
+        const PendingPmi pmi = pending;
+        pendingPmis_.erase(pendingPmis_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
         LIMIT_TRACE(machine_.tracer(), id_,
                     trace::TraceEvent::CounterOverflow, now_,
                     current_ ? current_->tid() : invalidThread,
                     pmi.counter, pmi.wraps);
         machine_.kernel()->pmuOverflow(*this, pmi.counter, pmi.wraps);
+        i = 0;
     }
     draining_ = false;
 }

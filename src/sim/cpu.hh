@@ -107,6 +107,10 @@ class Cpu
     {
         unsigned counter;
         std::uint32_t wraps;
+        /** Fault controller consulted (consult exactly once per PMI). */
+        bool vetted = false;
+        /** Earliest delivery time (fault-injected delay; 0 = now). */
+        Tick notBefore = 0;
     };
 
     CoreId id_;

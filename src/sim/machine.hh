@@ -20,6 +20,10 @@ namespace limit::trace {
 class Tracer;
 }
 
+namespace limit::fault {
+class FaultController;
+}
+
 namespace limit::sim {
 
 class KernelIf;
@@ -77,6 +81,15 @@ class Machine
     trace::Tracer *tracer() const { return tracer_; }
 
     /**
+     * Attach a fault controller (nullptr detaches). Like the tracer,
+     * the machine does not own it; the injection seams in the kernel,
+     * the CPUs, and the PEC session find it here, and while it is null
+     * each seam costs exactly one pointer test.
+     */
+    void setFaults(fault::FaultController *faults) { faults_ = faults; }
+    fault::FaultController *faults() const { return faults_; }
+
+    /**
      * Ask guests to wind down once any core reaches `t`
      * (Guest::shouldStop turns true); does not forcibly stop them.
      */
@@ -113,6 +126,7 @@ class Machine
     MemoryIf *memory_ = nullptr;
     KernelIf *kernel_ = nullptr;
     trace::Tracer *tracer_ = nullptr;
+    fault::FaultController *faults_ = nullptr;
     RegionTable regions_;
     Tick stopAt_ = 0;
     Tick nextPollAt_ = 0;

@@ -25,6 +25,7 @@ traceEventName(TraceEvent e)
       case TraceEvent::PecOverflowFixup: return "pec-overflow-fixup";
       case TraceEvent::PecRegionEnter: return "pec-region-enter";
       case TraceEvent::PecRegionExit: return "pec-region-exit";
+      case TraceEvent::FaultInjected: return "fault-injected";
       default: return "?";
     }
 }
@@ -46,6 +47,8 @@ traceEventCategory(TraceEvent e)
       case TraceEvent::FutexWait:
       case TraceEvent::FutexWake:
         return TraceCategory::Futex;
+      case TraceEvent::FaultInjected:
+        return TraceCategory::Fault;
       default:
         return TraceCategory::Pec;
     }
@@ -60,6 +63,7 @@ traceCategoryName(TraceCategory c)
       case TraceCategory::Pmu: return "pmu";
       case TraceCategory::Futex: return "futex";
       case TraceCategory::Pec: return "pec";
+      case TraceCategory::Fault: return "fault";
       default: return "?";
     }
 }

@@ -58,6 +58,8 @@ enum class TraceEvent : std::uint8_t {
     PecOverflowFixup,    ///< a0 = counter, a1 = wraps absorbed
     PecRegionEnter,      ///< a0 = region id
     PecRegionExit,       ///< a0 = region id
+    // fault::PlanController — deterministic fault injection.
+    FaultInjected,       ///< a0 = fault::Site, a1 = site-specific arg
     NumEvents, // must be last
 };
 
@@ -72,6 +74,7 @@ enum class TraceCategory : std::uint8_t {
     Pmu,
     Futex,
     Pec,
+    Fault,
     NumCategories, // must be last
 };
 

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "os/sysno.hh"
 
@@ -170,6 +173,101 @@ TEST(BundleBuilderDeathTest, RejectsInvalidCombinations)
                      .taggedVirtualization()
                      .build(),
                  "taggedVirtualization requires");
+}
+
+// ---------------------------------------------------------------------
+// Bench argument parsing (the non-exiting tryParseBenchArgs core)
+// ---------------------------------------------------------------------
+
+/** Run tryParseBenchArgs over a literal argv. */
+analysis::BenchParse
+parseArgs(std::initializer_list<const char *> argv,
+          analysis::BenchDefaults defaults = {})
+{
+    std::vector<char *> v;
+    v.push_back(const_cast<char *>("bench"));
+    for (const char *a : argv)
+        v.push_back(const_cast<char *>(a));
+    return analysis::tryParseBenchArgs(static_cast<int>(v.size()),
+                                       v.data(), defaults);
+}
+
+TEST(BenchArgs, ParsesAllFlagsInBothSpellings)
+{
+    const auto p = parseArgs({"--seeds", "5", "--jobs=3",
+                              "--trace", "out.json", "--trace-cap=128",
+                              "--faults=overflow-read:step=2;drop-pmi"});
+    ASSERT_TRUE(p.ok()) << p.error;
+    EXPECT_FALSE(p.help);
+    EXPECT_EQ(p.args.seeds, 5u);
+    EXPECT_EQ(p.args.jobs, 3u);
+    EXPECT_EQ(p.args.trace, "out.json");
+    EXPECT_EQ(p.args.traceCap, 128u);
+    EXPECT_EQ(p.args.faults, "overflow-read:step=2;drop-pmi");
+}
+
+TEST(BenchArgs, DefaultsFlowThroughUntouched)
+{
+    const auto p = parseArgs({}, {.seeds = 7, .jobs = 0});
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p.args.seeds, 7u);
+    EXPECT_EQ(p.args.jobs, 0u);
+    EXPECT_TRUE(p.args.faults.empty());
+    EXPECT_FALSE(p.args.tracing());
+}
+
+TEST(BenchArgs, HelpIsNotAnError)
+{
+    EXPECT_TRUE(parseArgs({"--help"}).help);
+    EXPECT_TRUE(parseArgs({"-h"}).help);
+    EXPECT_TRUE(parseArgs({"--help"}).ok());
+}
+
+TEST(BenchArgs, RejectsUnknownFlags)
+{
+    const auto p = parseArgs({"--frobnicate", "3"});
+    ASSERT_FALSE(p.ok());
+    EXPECT_NE(p.error.find("unknown argument"), std::string::npos);
+    EXPECT_NE(p.error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(BenchArgs, RejectsNonNumericValues)
+{
+    const auto p = parseArgs({"--seeds", "abc"});
+    ASSERT_FALSE(p.ok());
+    EXPECT_NE(p.error.find("--seeds"), std::string::npos);
+    EXPECT_NE(p.error.find("abc"), std::string::npos);
+    EXPECT_FALSE(parseArgs({"--jobs=2x"}).ok());
+    EXPECT_FALSE(parseArgs({"--trace-cap", "1e6"}).ok());
+}
+
+TEST(BenchArgs, RejectsNegativeValuesExplicitly)
+{
+    // strtoul would wrap "-1" to a huge unsigned; the parser must
+    // name the real problem instead.
+    const auto p = parseArgs({"--trace-cap=-1"});
+    ASSERT_FALSE(p.ok());
+    EXPECT_NE(p.error.find("negative"), std::string::npos);
+    EXPECT_FALSE(parseArgs({"--seeds", "-5"}).ok());
+}
+
+TEST(BenchArgs, RejectsMissingAndOutOfRangeValues)
+{
+    EXPECT_FALSE(parseArgs({"--seeds"}).ok());
+    EXPECT_FALSE(parseArgs({"--trace"}).ok());
+    EXPECT_FALSE(parseArgs({"--faults"}).ok());
+    EXPECT_FALSE(parseArgs({"--seeds", "0"}).ok());
+    EXPECT_FALSE(parseArgs({"--trace-cap", "0"}).ok());
+    EXPECT_FALSE(parseArgs({"--jobs", "100000001"}).ok());
+}
+
+TEST(BenchArgs, ValidatesFaultPlanGrammarUpFront)
+{
+    const auto p = parseArgs({"--faults", "warp-core-breach"});
+    ASSERT_FALSE(p.ok());
+    EXPECT_NE(p.error.find("bad --faults spec"), std::string::npos);
+    EXPECT_FALSE(parseArgs({"--faults=preempt-read:step=99"}).ok());
+    EXPECT_TRUE(parseArgs({"--faults=stall-syscall:ticks=500"}).ok());
 }
 
 } // namespace

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * MuxSession rotation-window regression tests.
+ *
+ * The hazard under test: a preemption landing inside a rotation
+ * window must not double-count the outgoing event set. With a single
+ * multiplexed event the duty cycle is 1, so the summed raw windows
+ * must equal the ground-truth ledger *exactly* — any double count (or
+ * loss) across a forced switch shows up as a hard inequality. The
+ * fault subsystem supplies the adversarial schedules: syscall stalls
+ * blow the quantum inside rotate()'s own window, and tiny quanta force
+ * involuntary switches into every measurement window.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/bundle.hh"
+#include "fault/plan.hh"
+#include "os/sysno.hh"
+#include "pec/pec.hh"
+#include "sim/machine.hh"
+
+namespace limit {
+namespace {
+
+using fault::FaultSpec;
+using fault::Plan;
+using fault::PlanController;
+using fault::Site;
+using sim::EventType;
+using sim::Guest;
+using sim::PrivMode;
+using sim::Task;
+
+struct MuxRunResult
+{
+    std::vector<std::uint64_t> raw;      // per thread, event 0
+    std::vector<std::uint64_t> truth;    // per thread ledger, event 0
+    std::vector<std::uint64_t> switches; // per thread, vol + invol
+    std::uint64_t rotations = 0;
+    std::uint64_t rotatorInvoluntary = 0;
+};
+
+/**
+ * Rotator + `workers` compute threads; `rotations` windows. Duty
+ * cycle 1 (a single event), so raw == ledger is the exactness bar.
+ */
+MuxRunResult
+runMux(unsigned cores, unsigned workers, unsigned rotations,
+       sim::Tick quantum, bool kernel_mode, const Plan &plan,
+       std::uint64_t seed = 11)
+{
+    analysis::SimBundle b(analysis::BundleOptions::Builder()
+                              .cores(cores)
+                              .quantum(quantum)
+                              .seed(seed)
+                              .build());
+    pec::MuxSession mux(b.kernel(), 0,
+                        {{EventType::Instructions, true, kernel_mode}});
+
+    bool done = false;
+    b.kernel().spawn("rotator", [&](Guest &g) -> Task<void> {
+        for (unsigned r = 0; r < rotations; ++r) {
+            co_await g.compute(3'000);
+            co_await mux.rotate(g);
+        }
+        done = true;
+    });
+    for (unsigned w = 0; w < workers; ++w) {
+        b.kernel().spawn("worker" + std::to_string(w),
+                         [&](Guest &g) -> Task<void> {
+                             while (!done && !g.shouldStop()) {
+                                 co_await g.compute(700);
+                                 co_await g.load(0x5000 + 64 *
+                                                 (g.tid() + 1));
+                             }
+                         });
+    }
+
+    PlanController ctl(b.machine(), plan);
+    if (!plan.empty())
+        b.machine().setFaults(&ctl);
+    b.machine().run();
+    mux.finish(b.machine().maxTime());
+
+    MuxRunResult out;
+    out.rotations = mux.rotations();
+    out.rotatorInvoluntary = b.kernel().thread(0).involuntarySwitches;
+    for (unsigned t = 0; t < b.kernel().numThreads(); ++t) {
+        const os::Thread &th = b.kernel().thread(t);
+        out.raw.push_back(mux.rawCount(t, 0));
+        std::uint64_t truth = th.ctx.ledger().count(
+            EventType::Instructions, PrivMode::User);
+        if (kernel_mode) {
+            truth += th.ctx.ledger().count(EventType::Instructions,
+                                           PrivMode::Kernel);
+        }
+        out.truth.push_back(truth);
+        out.switches.push_back(th.voluntarySwitches +
+                               th.involuntarySwitches);
+    }
+    return out;
+}
+
+TEST(Multiplex, DutyCycleOneIsExactAcrossNaturalPreemptions)
+{
+    // Quantum small enough that every rotation window sees several
+    // involuntary switches on the shared core.
+    const MuxRunResult r =
+        runMux(/*cores=*/1, /*workers=*/2, /*rotations=*/8,
+               /*quantum=*/9'000, /*kernel_mode=*/false, Plan{});
+    ASSERT_EQ(r.rotations, 8u);
+    for (std::size_t t = 0; t < r.raw.size(); ++t)
+        EXPECT_EQ(r.raw[t], r.truth[t]) << "thread " << t;
+}
+
+TEST(Multiplex, ForcedSwitchInsideRotateCannotDoubleCount)
+{
+    // Stall the rotation syscall itself far past the quantum: the
+    // rotator is descheduled between its sysPmcConfig op and the
+    // host-side harvest, with the outgoing event still live — the
+    // exact window the double-count bug class lives in. Every
+    // rotation gets stalled (nth=0), and the spurious-wake noise of a
+    // second plan item changes nothing (no futex waiters here).
+    Plan plan;
+    FaultSpec s;
+    s.site = Site::StallSyscall;
+    s.nr = os::sysPmcConfig;
+    s.ticks = 40'000; // >> quantum: guarantees expiry inside rotate
+    s.nth = 0;
+    plan.add(s);
+
+    const MuxRunResult r =
+        runMux(/*cores=*/1, /*workers=*/2, /*rotations=*/6,
+               /*quantum=*/9'000, /*kernel_mode=*/false, plan);
+    ASSERT_EQ(r.rotations, 6u);
+    EXPECT_GE(r.rotatorInvoluntary, 1u);
+    for (std::size_t t = 0; t < r.raw.size(); ++t)
+        EXPECT_EQ(r.raw[t], r.truth[t]) << "thread " << t;
+}
+
+TEST(Multiplex, KernelModeCountingNeverOvercountsUnderForcedSwitches)
+{
+    // Counting kernel instructions too puts the switch path itself
+    // inside the measured stream — and the switch path is the one
+    // place kernel-mode counting is inherently lossy, never inflated:
+    // deschedule saves the hardware value *before* charging the
+    // counter-save kernel work to the outgoing thread's ledger, and
+    // installThread charges the restore work before overwriting the
+    // hardware register with the saved value. Each switch therefore
+    // leaks at most counterSwitchCost ledger instructions per side
+    // out of the raw count. The double-count bug class would show as
+    // raw > truth, which must never happen.
+    Plan plan;
+    FaultSpec s;
+    s.site = Site::StallSyscall;
+    s.nr = os::sysPmcConfig;
+    s.ticks = 40'000;
+    s.nth = 0;
+    plan.add(s);
+
+    const MuxRunResult r =
+        runMux(/*cores=*/1, /*workers=*/2, /*rotations=*/6,
+               /*quantum=*/9'000, /*kernel_mode=*/true, plan);
+    const std::uint64_t perSwitchLoss = 220; // counterSwitchCost
+    for (std::size_t t = 0; t < r.raw.size(); ++t) {
+        EXPECT_LE(r.raw[t], r.truth[t]) << "thread " << t;
+        EXPECT_LE(r.truth[t] - r.raw[t],
+                  perSwitchLoss * (r.switches[t] + 1))
+            << "thread " << t;
+    }
+}
+
+TEST(Multiplex, MultiCoreDutyCycleOneIsExact)
+{
+    const MuxRunResult r =
+        runMux(/*cores=*/3, /*workers=*/4, /*rotations=*/8,
+               /*quantum=*/12'000, /*kernel_mode=*/false, Plan{});
+    for (std::size_t t = 0; t < r.raw.size(); ++t)
+        EXPECT_EQ(r.raw[t], r.truth[t]) << "thread " << t;
+}
+
+TEST(Multiplex, TwoEventsNeverOvercountTruth)
+{
+    analysis::SimBundle b(analysis::BundleOptions::Builder()
+                              .cores(1)
+                              .quantum(9'000)
+                              .seed(13)
+                              .build());
+    pec::MuxSession mux(b.kernel(), 0,
+                        {{EventType::Instructions, true, false},
+                         {EventType::Cycles, true, false}});
+
+    bool done = false;
+    b.kernel().spawn("rotator", [&](Guest &g) -> Task<void> {
+        for (unsigned r = 0; r < 10; ++r) {
+            co_await g.compute(3'000);
+            co_await mux.rotate(g);
+        }
+        done = true;
+    });
+    b.kernel().spawn("worker", [&](Guest &g) -> Task<void> {
+        while (!done && !g.shouldStop())
+            co_await g.compute(700);
+    });
+    b.machine().run();
+    mux.finish(b.machine().maxTime());
+
+    // Raw (unscaled) windows cover a subset of each thread's life, so
+    // they can never exceed the full-run ledger; a double-counted
+    // window would.
+    for (unsigned t = 0; t < b.kernel().numThreads(); ++t) {
+        EXPECT_LE(mux.rawCount(t, 0),
+                  b.kernel().thread(t).ctx.ledger().count(
+                      EventType::Instructions, PrivMode::User))
+            << "thread " << t;
+        EXPECT_LE(mux.rawCount(t, 1),
+                  b.kernel().thread(t).ctx.ledger().count(
+                      EventType::Cycles, PrivMode::User))
+            << "thread " << t;
+    }
+    // Estimates extrapolate; with a steady workload they must at
+    // least land within a factor of two of truth (duty cycle 1/2).
+    const std::uint64_t worker_truth =
+        b.kernel().thread(1).ctx.ledger().count(
+            EventType::Instructions, PrivMode::User);
+    const double est = mux.estimate(1, 0);
+    EXPECT_GT(est, 0.5 * static_cast<double>(worker_truth));
+    EXPECT_LT(est, 2.0 * static_cast<double>(worker_truth));
+}
+
+} // namespace
+} // namespace limit
