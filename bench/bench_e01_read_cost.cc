@@ -17,6 +17,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "baseline/source_set.hh"
 #include "stats/table.hh"
@@ -70,14 +71,14 @@ runMethod(const baseline::SourceSpec &spec, std::uint64_t seed,
         analysis::BundleOptions::builder()
             .cores(1)
             .seed(1 + seed)
-            .traceCapacity(trace ? trace->traceCap : 0)
+            .traceCapacity(trace ? trace->captureCap() : 0)
             .build());
     baseline::SourceInstance inst =
         spec.make(b.kernel(), 0, sim::EventType::Instructions, true,
                   false);
     Row row{inst.source->name(), measure(*inst.source, b)};
     if (trace)
-        analysis::writeTraceReport(b, trace->trace);
+        analysis::writeStandardArtifacts(b, *trace, "bench_e01_read_cost");
     return row;
 }
 
@@ -131,7 +132,7 @@ main(int argc, char **argv)
                 sim::ticksToNs(rows[4].cycles) / pec_ns);
 
     // Dedicated traced re-run of the headline method.
-    if (args.tracing())
+    if (args.tracing() || args.profile)
         runMethod(methods[0], 0, &args);
     return 0;
 }

@@ -108,25 +108,35 @@ BENCHMARK(BM_proc_self_stat_read);
 } // namespace
 
 // Accept (and ignore) the suite-wide --seeds/--jobs/--trace/
-// --trace-cap/--faults flags so drivers can pass a uniform command
-// line to every bench; this one measures real host hardware, so
-// simulated seeds, fan-out, tracing and fault injection do not apply.
+// --trace-cap/--faults/--profile/--profile-out flags so drivers can
+// pass a uniform command line to every bench; this one measures real
+// host hardware, so simulated seeds, fan-out, tracing, fault
+// injection and profiling do not apply.
 int
 main(int argc, char **argv)
 {
-    const char *suite_flags[] = {"--seeds", "--jobs", "--trace",
-                                 "--trace-cap", "--faults"};
-    auto is_suite_flag = [&](const char *arg, bool &has_inline_value) {
-        for (const char *flag : suite_flags) {
-            const std::size_t len = std::strlen(flag);
-            if (std::strncmp(arg, flag, len) != 0)
+    struct SuiteFlag
+    {
+        const char *name;
+        bool takes_value;
+    };
+    const SuiteFlag suite_flags[] = {
+        {"--seeds", true},     {"--jobs", true},
+        {"--trace", true},     {"--trace-cap", true},
+        {"--faults", true},    {"--profile-out", true},
+        {"--profile", false},
+    };
+    auto is_suite_flag = [&](const char *arg, bool &consumes_next) {
+        for (const SuiteFlag &flag : suite_flags) {
+            const std::size_t len = std::strlen(flag.name);
+            if (std::strncmp(arg, flag.name, len) != 0)
                 continue;
             if (arg[len] == '=') {
-                has_inline_value = true;
+                consumes_next = false; // value was inline
                 return true;
             }
             if (arg[len] == '\0') {
-                has_inline_value = false;
+                consumes_next = flag.takes_value;
                 return true;
             }
         }
@@ -135,9 +145,9 @@ main(int argc, char **argv)
     std::vector<char *> kept;
     kept.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
-        bool has_inline_value = false;
-        if (is_suite_flag(argv[i], has_inline_value)) {
-            if (!has_inline_value && i + 1 < argc)
+        bool consumes_next = false;
+        if (is_suite_flag(argv[i], consumes_next)) {
+            if (consumes_next && i + 1 < argc)
                 ++i; // skip the flag's value too
             continue;
         }

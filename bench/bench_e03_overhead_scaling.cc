@@ -18,6 +18,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "base/logging.hh"
 #include "baseline/source_set.hh"
@@ -44,7 +45,7 @@ runOnce(const baseline::SourceSpec *spec, unsigned read_every,
         analysis::BundleOptions::builder()
             .cores(4)
             .seed(1 + seed)
-            .traceCapacity(trace ? trace->traceCap : 0)
+            .traceCapacity(trace ? trace->captureCap() : 0)
             .build());
 
     baseline::SourceInstance inst;
@@ -69,7 +70,7 @@ runOnce(const baseline::SourceSpec *spec, unsigned read_every,
     oltp.spawn();
     b.run(runTicks);
     if (trace)
-        analysis::writeTraceReport(b, trace->trace);
+        analysis::writeStandardArtifacts(b, *trace, "bench_e03_overhead_scaling");
     return oltp.operations();
 }
 
@@ -177,7 +178,7 @@ main(int argc, char **argv)
 
     // Dedicated traced re-run: densest PEC instrumentation, so the
     // timeline carries syscall, futex and switch traffic.
-    if (args.tracing())
+    if (args.tracing() || args.profile)
         runOnce(methods[0], 1, 1, 0, &args);
     return 0;
 }

@@ -19,6 +19,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "baseline/sampler.hh"
 #include "pec/pec.hh"
@@ -60,7 +61,7 @@ runSampled(std::uint64_t segment, std::uint64_t period,
             .cores(1)
             .pmuWidth(30)
             .seed(seed)
-            .traceCapacity(trace ? trace->traceCap : 0)
+            .traceCapacity(trace ? trace->captureCap() : 0)
             .build());
     baseline::SamplingProfiler prof(b.kernel(), 0,
                                     sim::EventType::Instructions,
@@ -78,7 +79,7 @@ runSampled(std::uint64_t segment, std::uint64_t period,
     b.machine().run();
     prof.aggregate();
     if (trace)
-        analysis::writeTraceReport(b, trace->trace);
+        analysis::writeStandardArtifacts(b, *trace, "bench_e04_sampling_accuracy");
     return prof.estimate(region);
 }
 
@@ -183,7 +184,7 @@ main(int argc, char **argv)
 
     // Dedicated traced re-run of one sampling point — the timeline
     // shows the sampling PMIs landing against the region boundaries.
-    if (args.tracing())
+    if (args.tracing() || args.profile)
         runSampled(1000, 4'000, 11, &args);
     return 0;
 }

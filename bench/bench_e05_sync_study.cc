@@ -2,8 +2,8 @@
  * @file
  * E5 — Synchronization case study (the paper's MySQL/Apache/Firefox
  * study): exact cycles spent acquiring locks and holding them, per
- * lock class, measured with dense PEC instrumentation that syscall
- * methods could not afford (see E3).
+ * lock class and acquire call site, measured with dense PEC
+ * instrumentation that syscall methods could not afford (see E3).
  *
  * Expected shape: every app spends a modest single-digit share of
  * cycles on synchronization, dominated by *frequent, short* critical
@@ -14,8 +14,9 @@
 #include <vector>
 
 #include "analysis/args.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/runner.hh"
-#include "stats/table.hh"
+#include "prof/report.hh"
 #include "sync_common.hh"
 
 int
@@ -23,7 +24,6 @@ main(int argc, char **argv)
 {
     using namespace limit;
     using benchsync::runApp;
-    using stats::Table;
 
     constexpr sim::Tick ticks = 40'000'000;
 
@@ -32,64 +32,46 @@ main(int argc, char **argv)
         "workload seeds averaged in the summary table");
     analysis::ParallelRunner pool(args.jobs);
 
-    // One job per (app, seed); the summary averages across seeds, the
-    // per-lock detail table shows the seed-0 run.
+    // One job per (app, seed); runs merge into the Report in
+    // submission order, so the output is identical for any --jobs.
     const auto &apps = benchsync::appNames();
     const std::vector<benchsync::SyncRunResult> runs = pool.map(
         apps.size() * args.seeds, [&](std::size_t i) {
             return runApp(apps[i / args.seeds], ticks, i % args.seeds);
         });
 
-    Table summary("E5a: per-application synchronization summary "
-                  "(40M-cycle run, 4 cores)");
-    summary.header({"app", "work items", "total Mcycles",
-                    "% cyc acquiring", "% cyc in crit sec",
-                    "acquisitions"});
+    prof::Report report;
+    for (const auto &r : runs)
+        report.addSync(r.app, r.sync, r.totalCycles, r.workItems);
 
-    Table detail("E5b: per-lock-class detail");
-    detail.header({"app", "lock", "acquisitions", "mean acq cyc",
-                   "mean held cyc", "p95 held cyc"});
-
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        double work_items = 0, mcycles = 0, acq_pct = 0, held_pct = 0,
-               acqs = 0;
-        for (unsigned s = 0; s < args.seeds; ++s) {
-            const auto &r = runs[a * args.seeds + s];
-            std::uint64_t acq_cycles = 0, held_cycles = 0,
-                          acquisitions = 0;
-            for (const auto &l : r.locks) {
-                acq_cycles += l.acquire.totals[0];
-                held_cycles += l.held.totals[0];
-                acquisitions += l.held.entries;
-                if (s == 0) {
-                    detail.beginRow()
-                        .cell(r.app)
-                        .cell(l.name)
-                        .cell(l.held.entries)
-                        .cell(l.acquire.mean(0), 0)
-                        .cell(l.held.mean(0), 0)
-                        .cell(l.held.histogram.quantile(0.95), 0);
-                }
-            }
-            work_items += static_cast<double>(r.workItems);
-            mcycles += static_cast<double>(r.totalCycles) / 1e6;
-            acq_pct += analysis::percentOf(acq_cycles, r.totalCycles);
-            held_pct += analysis::percentOf(held_cycles, r.totalCycles);
-            acqs += static_cast<double>(acquisitions);
-        }
-        const double n = args.seeds;
-        summary.beginRow()
-            .cell(apps[a])
-            .cell(static_cast<std::uint64_t>(work_items / n + 0.5))
-            .cell(mcycles / n, 1)
-            .cell(acq_pct / n, 2)
-            .cell(held_pct / n, 2)
-            .cell(static_cast<std::uint64_t>(acqs / n + 0.5));
-    }
-
-    std::fputs(summary.render().c_str(), stdout);
+    std::fputs(report
+                   .syncSummaryTable(
+                       "E5a: per-application synchronization summary "
+                       "(40M-cycle run, 4 cores)")
+                   .render()
+                   .c_str(),
+               stdout);
     std::puts("");
-    std::fputs(detail.render().c_str(), stdout);
+    std::fputs(
+        report
+            .syncDetailTable(
+                "E5b: per-lock-class / per-call-site detail")
+            .render()
+            .c_str(),
+        stdout);
+
+    for (const auto &s : report.syncSections()) {
+        const prof::SyncProfile::Chain chain =
+            s.profile.longestWaiterChain();
+        if (chain.tids.size() < 2)
+            continue;
+        std::printf("\n%s longest waiter chain (%llu wait cycles): ",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(chain.waitCycles));
+        for (std::size_t i = 0; i < chain.tids.size(); ++i)
+            std::printf("%st%u", i ? " -> " : "", chain.tids[i]);
+        std::puts("");
+    }
 
     // One extra dedicated run with the tracer attached (and counters
     // narrow enough to wrap, so overflow PMIs show up in the
@@ -100,6 +82,12 @@ main(int argc, char **argv)
         tspec.capacity = args.traceCap;
         runApp(apps[0], ticks, 0, &tspec);
     }
+    analysis::writeProfile(report, args, "bench_e05_sync_study");
+
+    // The exact table EXPERIMENTS.md embeds — regenerate by pasting.
+    std::puts("\nEXPERIMENTS.md (E5) markdown:");
+    std::fputs(report.syncSummaryMarkdown().c_str(), stdout);
+
     std::puts("\nShape check: synchronization is a modest share of "
               "total cycles in every app, and mean critical sections "
               "are short (hundreds to a few thousand cycles) —\n"

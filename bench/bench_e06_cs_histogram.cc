@@ -2,17 +2,21 @@
  * @file
  * E6 — Critical-section length distributions (paper figure).
  *
- * Full log2 histograms of lock-held and lock-acquire durations per
- * application, measurable only because every single acquisition is
- * counted precisely. Expected shape: distributions peak at short
- * durations (2^7..2^12 cycles) with a thin long tail.
+ * Exact log-bucketed histograms of lock-held and lock-acquire
+ * durations per application, measurable only because every single
+ * acquisition is counted precisely. The histograms come straight out
+ * of prof::SyncProfile (the same data --profile serializes), rendered
+ * regrouped per power of two. Expected shape: distributions peak at
+ * short durations (2^7..2^12 cycles) with a thin long tail.
  */
 
 #include <cstdio>
 #include <vector>
 
 #include "analysis/args.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/runner.hh"
+#include "prof/report.hh"
 #include "sync_common.hh"
 
 int
@@ -34,6 +38,7 @@ main(int argc, char **argv)
             return runApp(apps[i / args.seeds], ticks, i % args.seeds);
         });
 
+    prof::Report report;
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const auto &r = runs[i];
         if (args.seeds > 1)
@@ -41,20 +46,28 @@ main(int argc, char **argv)
                         i % args.seeds);
         else
             std::printf("=== %s ===\n", r.app.c_str());
-        for (const auto &l : r.locks) {
+        report.addSync(r.app, r.sync, r.totalCycles, r.workItems);
+        for (const std::string &lock : r.sync.classNames()) {
+            const prof::SyncSiteStats s = r.sync.classStats(lock);
             std::printf("\n[%s] critical-section length (cycles held), "
                         "%llu acquisitions:\n",
-                        l.name.c_str(),
-                        static_cast<unsigned long long>(l.held.entries));
-            std::fputs(l.held.histogram.render(44).c_str(), stdout);
-            std::printf("mean %.0f  p50 %.0f  p95 %.0f  p99 %.0f\n",
-                        l.held.mean(0), l.held.histogram.quantile(0.5),
-                        l.held.histogram.quantile(0.95),
-                        l.held.histogram.quantile(0.99));
+                        lock.c_str(),
+                        static_cast<unsigned long long>(
+                            s.holdCycles.totalCount()));
+            std::fputs(s.holdCycles.renderLog2(44).c_str(), stdout);
+            std::printf(
+                "mean %.0f  p50 %llu  p95 %llu  p99 %llu\n",
+                s.holdCycles.mean(),
+                static_cast<unsigned long long>(
+                    s.holdCycles.quantile(0.5)),
+                static_cast<unsigned long long>(
+                    s.holdCycles.quantile(0.95)),
+                static_cast<unsigned long long>(
+                    s.holdCycles.quantile(0.99)));
 
             std::printf("\n[%s] acquisition cost (cycles):\n",
-                        l.name.c_str());
-            std::fputs(l.acquire.histogram.render(44).c_str(), stdout);
+                        lock.c_str());
+            std::fputs(s.waitCycles.renderLog2(44).c_str(), stdout);
         }
         std::puts("");
     }
@@ -64,6 +77,7 @@ main(int argc, char **argv)
         tspec.capacity = args.traceCap;
         runApp(apps[0], ticks, 0, &tspec);
     }
+    analysis::writeProfile(report, args, "bench_e06_cs_histogram");
 
     std::puts("Shape check: every distribution peaks at short "
               "durations (2^7..2^12 cycles) with a thin long tail "

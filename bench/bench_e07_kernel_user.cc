@@ -4,11 +4,13 @@
  *
  * Uses two mode-filtered counters (user-only and kernel-only
  * instructions, read through PEC) and cross-checks them against the
- * simulator's exact ledger. Expected shape (paper): server workloads
- * execute a large kernel share (the web server most of all), the
- * browser is user-dominated, and SPEC-class kernels are ~pure user —
- * so characterizing modern server apps with user-only counting (or
- * SPEC alone) misses much of the picture.
+ * simulator's exact ledger via prof::KernelProfile, which also gives
+ * per-thread context-switch counts and syscall latency histograms
+ * when the run is traced (--trace or --profile). Expected shape
+ * (paper): server workloads execute a large kernel share (the web
+ * server most of all), the browser is user-dominated, and SPEC-class
+ * kernels are ~pure user — so characterizing modern server apps with
+ * user-only counting (or SPEC alone) misses much of the picture.
  */
 
 #include <cstdio>
@@ -17,11 +19,12 @@
 
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/runner.hh"
 #include "analysis/trace_report.hh"
-#include "os/sysno.hh"
 #include "pec/pec.hh"
-#include "stats/table.hh"
+#include "prof/kernel_profile.hh"
+#include "prof/report.hh"
 #include "workloads/browser.hh"
 #include "workloads/kernels.hh"
 #include "workloads/oltp.hh"
@@ -35,20 +38,24 @@ struct Breakdown
 {
     std::uint64_t pecUser = 0;
     std::uint64_t pecKernel = 0;
-    std::uint64_t ledgerUser = 0;
-    std::uint64_t ledgerKernel = 0;
+    prof::KernelProfile profile;
 };
 
-/** Run `which` for `ticks`, measuring both modes via PEC counters. */
+/**
+ * Run `which` for `ticks`, measuring both modes via PEC counters.
+ * `trace_cap` attaches a tracer (populating the profile's syscall
+ * latency histograms); `trace_path`, when non-null, also writes the
+ * Chrome-trace JSON.
+ */
 Breakdown
 run(const std::string &which, sim::Tick ticks, std::uint64_t seed,
-    const analysis::BenchArgs *trace = nullptr)
+    unsigned trace_cap = 0, const std::string *trace_path = nullptr)
 {
     analysis::SimBundle b(
         analysis::BundleOptions::builder()
             .cores(4)
             .seed(1 + seed)
-            .traceCapacity(trace ? trace->traceCap : 0)
+            .traceCapacity(trace_cap)
             .build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Instructions, true, false);
@@ -88,18 +95,17 @@ run(const std::string &which, sim::Tick ticks, std::uint64_t seed,
 
     // Per-thread PEC values are harvested host-side after the run
     // (accumulator + saved hardware value once every thread exits)
-    // and cross-checked against the exact ledger.
+    // and cross-checked against the exact ledger inside the profile.
     Breakdown out;
     b.run(ticks);
-    out.ledgerUser = analysis::totalEvent(
-        b.kernel(), sim::EventType::Instructions, sim::PrivMode::User);
-    out.ledgerKernel = analysis::totalEvent(
-        b.kernel(), sim::EventType::Instructions,
-        sim::PrivMode::Kernel);
+    out.profile = prof::buildKernelProfile(
+        b.kernel(),
+        b.tracer() ? b.tracer()->merged()
+                   : std::vector<trace::TraceRecord>{});
     out.pecUser = session.processTotal(0);
     out.pecKernel = session.processTotal(1);
-    if (trace)
-        analysis::writeTraceReport(b, trace->trace);
+    if (trace_path)
+        analysis::writeTraceReport(b, *trace_path);
     return out;
 }
 
@@ -108,52 +114,45 @@ run(const std::string &which, sim::Tick ticks, std::uint64_t seed,
 int
 main(int argc, char **argv)
 {
-    using limit::stats::Table;
-
     const auto args = limit::analysis::parseBenchArgs(
         argc, argv, {.seeds = 1, .jobs = 1},
         "workload seeds averaged per row");
     limit::analysis::ParallelRunner pool(args.jobs);
 
     constexpr sim::Tick ticks = 30'000'000;
-    Table t("E7: kernel/user dynamic instruction breakdown "
-            "(mode-filtered counters, 30M-cycle run)");
-    t.header({"workload", "user Minstr", "kernel Minstr", "kernel %",
-              "counter-vs-ledger drift %"});
 
     const std::vector<std::string> workloads = {
         "oltp (MySQL-like)", "web (Apache-like)",
         "browser (Firefox-like)", "spec-like: matmul",
         "spec-like: ptrchase"};
+    // A profiled run attaches the tracer to every job so the syscall
+    // latency histograms populate; tracing is passive, so the table
+    // stays bit-identical to untraced runs.
+    const unsigned cap = args.captureCap();
     const std::vector<Breakdown> runs = pool.map(
         workloads.size() * args.seeds, [&](std::size_t i) {
             return run(workloads[i / args.seeds], ticks,
-                       i % args.seeds);
+                       i % args.seeds, cap);
         });
 
-    for (std::size_t w = 0; w < workloads.size(); ++w) {
-        double user = 0, kern = 0, kern_pct = 0, drift = 0;
-        for (unsigned s = 0; s < args.seeds; ++s) {
-            const Breakdown &r = runs[w * args.seeds + s];
-            user += static_cast<double>(r.ledgerUser) / 1e6;
-            kern += static_cast<double>(r.ledgerKernel) / 1e6;
-            kern_pct += analysis::percentOf(
-                r.ledgerKernel, r.ledgerUser + r.ledgerKernel);
-            drift += 100.0 *
-                     (static_cast<double>(r.pecUser + r.pecKernel) -
-                      static_cast<double>(r.ledgerUser +
-                                          r.ledgerKernel)) /
-                     static_cast<double>(r.ledgerUser + r.ledgerKernel);
-        }
-        const double n = args.seeds;
-        t.beginRow()
-            .cell(workloads[w])
-            .cell(user / n, 2)
-            .cell(kern / n, 2)
-            .cell(kern_pct / n, 1)
-            .cell(drift / n, 2);
+    prof::Report report;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        report.addKernel(workloads[i / args.seeds], runs[i].profile,
+                         runs[i].pecUser, runs[i].pecKernel);
     }
-    std::fputs(t.render().c_str(), stdout);
+
+    std::fputs(report
+                   .kernelTable(
+                       "E7: kernel/user dynamic instruction breakdown "
+                       "(mode-filtered counters, 30M-cycle run)")
+                   .render()
+                   .c_str(),
+               stdout);
+
+    // The exact table EXPERIMENTS.md embeds — regenerate by pasting.
+    std::puts("\nEXPERIMENTS.md (E7) markdown:");
+    std::fputs(report.kernelMarkdown().c_str(), stdout);
+
     std::puts("\nShape check: the web server executes the largest "
               "kernel share, OLTP a moderate one, the browser is "
               "user-dominated, and SPEC-class kernels are ~0% kernel\n"
@@ -162,6 +161,7 @@ main(int argc, char **argv)
               "counters track the exact ledger closely.");
 
     if (args.tracing())
-        run(workloads[0], ticks, 0, &args);
+        run(workloads[0], ticks, 0, args.traceCap, &args.trace);
+    limit::analysis::writeProfile(report, args, "bench_e07_kernel_user");
     return 0;
 }

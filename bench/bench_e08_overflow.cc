@@ -18,6 +18,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "pec/pec.hh"
 #include "stats/table.hh"
@@ -45,7 +46,7 @@ run(pec::OverflowPolicy policy, unsigned width, std::uint64_t seed,
             .cores(1)
             .pmuWidth(width)
             .seed(1 + seed)
-            .traceCapacity(trace ? trace->traceCap : 0)
+            .traceCapacity(trace ? trace->captureCap() : 0)
             .build());
     pec::PecConfig pc;
     pc.policy = policy;
@@ -74,7 +75,7 @@ run(pec::OverflowPolicy policy, unsigned width, std::uint64_t seed,
     out.restarts = session.readRestarts();
     out.retries = session.doubleCheckRetries();
     if (trace)
-        analysis::writeTraceReport(b, trace->trace);
+        analysis::writeStandardArtifacts(b, *trace, "bench_e08_overflow");
     return out;
 }
 
@@ -153,7 +154,7 @@ main(int argc, char **argv)
     // Dedicated traced re-run: a 12-bit counter under the kernel
     // fix-up wraps constantly, so the timeline is dense with overflow
     // PMIs and fix-up events.
-    if (args.tracing())
+    if (args.tracing() || args.profile)
         run(OverflowPolicy::KernelFixup, 12, 0, &args);
     return 0;
 }

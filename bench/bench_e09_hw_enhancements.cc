@@ -21,6 +21,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "os/sysno.hh"
 #include "pec/pec.hh"
@@ -107,7 +108,7 @@ switchCost(bool tagged, bool virtualized, std::uint64_t seed,
             .taggedVirtualization(tagged)
             .virtualizeCounters(virtualized)
             .seed(1 + seed)
-            .traceCapacity(trace ? trace->traceCap : 0)
+            .traceCapacity(trace ? trace->captureCap() : 0)
             .build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Cycles);
@@ -132,7 +133,7 @@ switchCost(bool tagged, bool virtualized, std::uint64_t seed,
     const std::uint64_t switches =
         b.kernel().totalContextSwitches();
     if (trace)
-        analysis::writeTraceReport(b, trace->trace);
+        analysis::writeStandardArtifacts(b, *trace, "bench_e09_hw_enhancements");
     return static_cast<double>(kernel_cycles) /
            static_cast<double>(switches);
 }
@@ -229,7 +230,7 @@ main(int argc, char **argv)
 
     // Dedicated traced re-run: software save/restore of a full
     // counter set — every yield shows switch + save + restore events.
-    if (args.tracing())
+    if (args.tracing() || args.profile)
         switchCost(false, true, 0, &args);
     return 0;
 }

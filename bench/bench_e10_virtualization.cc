@@ -19,6 +19,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "os/sysno.hh"
 #include "pec/pec.hh"
@@ -38,7 +39,7 @@ switchCostWithCounters(unsigned counters, std::uint64_t seed,
             .quantum(10'000'000)
             .pmuCounters(8)
             .seed(1 + seed)
-            .traceCapacity(trace ? trace->traceCap : 0)
+            .traceCapacity(trace ? trace->captureCap() : 0)
             .build());
     pec::PecSession session(b.kernel());
     const sim::EventType evs[8] = {
@@ -62,7 +63,7 @@ switchCostWithCounters(unsigned counters, std::uint64_t seed,
     }
     b.machine().run();
     if (trace)
-        analysis::writeTraceReport(b, trace->trace);
+        analysis::writeStandardArtifacts(b, *trace, "bench_e10_virtualization");
     return static_cast<double>(analysis::totalEvent(
                b.kernel(), sim::EventType::Cycles,
                sim::PrivMode::Kernel)) /
@@ -207,7 +208,7 @@ main(int argc, char **argv)
               "from userspace.");
 
     // Dedicated traced re-run: the full 8-counter save/restore set.
-    if (args.tracing())
+    if (args.tracing() || args.profile)
         switchCostWithCounters(8, 0, &args);
     return 0;
 }

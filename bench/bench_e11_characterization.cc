@@ -18,6 +18,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "stats/table.hh"
 #include "workloads/browser.hh"
@@ -50,7 +51,7 @@ characterize(const std::string &which, std::uint64_t seed,
             .cores(4)
             .quantum(1'000'000)
             .seed(1 + seed)
-            .traceCapacity(trace ? trace->traceCap : 0)
+            .traceCapacity(trace ? trace->captureCap() : 0)
             .build());
 
     std::unique_ptr<workloads::OltpServer> oltp;
@@ -126,7 +127,7 @@ characterize(const std::string &which, std::uint64_t seed,
         1e6 * static_cast<double>(k.totalContextSwitches()) /
         all_cycles;
     if (trace)
-        analysis::writeTraceReport(b, trace->trace);
+        analysis::writeStandardArtifacts(b, *trace, "bench_e11_characterization");
     return r;
 }
 
@@ -188,7 +189,7 @@ main(int argc, char **argv)
               "that cloud-era workloads need their own "
               "characterization.");
 
-    if (args.tracing())
+    if (args.tracing() || args.profile)
         characterize(names[0], 0, &args);
     return 0;
 }

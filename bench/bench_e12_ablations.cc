@@ -22,6 +22,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "baseline/sampler.hh"
 #include "baseline/source_set.hh"
@@ -50,7 +51,7 @@ runQuantum(sim::Tick quantum, std::uint64_t seed,
             .cores(2)
             .quantum(quantum)
             .seed(1 + seed)
-            .traceCapacity(trace ? trace->traceCap : 0)
+            .traceCapacity(trace ? trace->captureCap() : 0)
             .build());
     pec::PecSession s(b.kernel());
     s.addEvent(0, sim::EventType::Cycles);
@@ -78,7 +79,7 @@ runQuantum(sim::Tick quantum, std::uint64_t seed,
     const double total = static_cast<double>(
         analysis::totalEvent(b.kernel(), sim::EventType::Cycles));
     if (trace)
-        analysis::writeTraceReport(b, trace->trace);
+        analysis::writeStandardArtifacts(b, *trace, "bench_e12_ablations");
     return {switches, 100.0 * switch_cycles / total};
 }
 
@@ -311,7 +312,7 @@ main(int argc, char **argv)
 
     // Dedicated traced re-run: the pathological quantum, so the
     // timeline is wall-to-wall preemptions and counter save/restore.
-    if (args.tracing())
+    if (args.tracing() || args.profile)
         runQuantum(25'000, 0, &args);
     return 0;
 }

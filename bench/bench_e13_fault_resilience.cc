@@ -34,6 +34,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/runner.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "fault/plan.hh"
 #include "pec/pec.hh"
@@ -103,7 +104,7 @@ run(pec::OverflowPolicy policy, const fault::Plan &plan,
             .pmuWidth(kWidth)
             .quantum(kQuantum)
             .seed(1 + seed)
-            .traceCapacity(trace ? trace->traceCap : 0)
+            .traceCapacity(trace ? trace->captureCap() : 0)
             .build());
     pec::PecConfig pc;
     pc.policy = policy;
@@ -153,7 +154,7 @@ run(pec::OverflowPolicy policy, const fault::Plan &plan,
     out.settledGap = total > truth ? total - truth : truth - total;
 
     if (trace)
-        analysis::writeTraceReport(b, trace->trace);
+        analysis::writeStandardArtifacts(b, *trace, "bench_e13_fault_resilience");
     return out;
 }
 
@@ -306,7 +307,7 @@ main(int argc, char **argv)
     // Traced re-run: naive-sum with the overflow landing mid-read is
     // the paper's motivating interleaving — the timeline shows the
     // injection record between the accumulator load and the PMI.
-    if (args.tracing()) {
+    if (args.tracing() || args.profile) {
         run(pec::OverflowPolicy::NaiveSum,
             planOf("overflow-read:step=1:margin=1:nth=2"), 0, &args);
     }

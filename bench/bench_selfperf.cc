@@ -29,9 +29,12 @@
 
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/runner.hh"
 #include "analysis/trace_report.hh"
 #include "pec/pec.hh"
+#include "prof/report.hh"
+#include "stats/hdr_histogram.hh"
 #include "stats/table.hh"
 #include "workloads/kernels.hh"
 #include "workloads/oltp.hh"
@@ -101,6 +104,34 @@ runOltp(std::uint64_t seed, const analysis::BenchArgs *trace = nullptr)
     if (trace)
         analysis::writeTraceReport(b, trace->trace);
     return out;
+}
+
+/**
+ * Deterministic PEC read-latency distribution: 20k consecutive fast
+ * reads on one idle core, each visit's guest-visible duration into an
+ * exact histogram. Simulated cycles, so the percentiles are
+ * reproducible host-independently — the perf gate pins p99 exactly
+ * (see scripts/check_selfperf.py).
+ */
+stats::HdrHistogram
+pecReadLatency()
+{
+    analysis::SimBundle b(
+        analysis::BundleOptions::builder().cores(1).seed(1).build());
+    pec::PecSession session(b.kernel());
+    session.addEvent(0, sim::EventType::Cycles, true, true);
+    stats::HdrHistogram h;
+    b.kernel().spawn("probe", [&](sim::Guest &g) -> sim::Task<void> {
+        for (int i = 0; i < 20'000; ++i) {
+            const sim::Tick t0 = g.now();
+            const std::uint64_t v = co_await session.read(g, 0);
+            (void)v;
+            h.add(g.now() - t0);
+        }
+        co_return;
+    });
+    b.machine().run();
+    return h;
 }
 
 /** Best (max throughput) run of `reps` repetitions. */
@@ -188,6 +219,17 @@ main(int argc, char **argv)
                 "single-thread throughput\n",
                 jobs, scaling);
 
+    const stats::HdrHistogram read_lat = pecReadLatency();
+    const std::uint64_t read_p50 = read_lat.quantile(0.5);
+    const std::uint64_t read_p99 = read_lat.quantile(0.99);
+    const std::uint64_t read_p999 = read_lat.quantile(0.999);
+    std::printf("pec read latency (simulated cycles): p50 %llu  "
+                "p99 %llu  p999 %llu over %llu reads\n",
+                static_cast<unsigned long long>(read_p50),
+                static_cast<unsigned long long>(read_p99),
+                static_cast<unsigned long long>(read_p999),
+                static_cast<unsigned long long>(read_lat.totalCount()));
+
     // Machine-readable copy for tracking the perf trajectory.
     std::FILE *json = std::fopen("BENCH_selfperf.json", "w");
     if (json) {
@@ -202,12 +244,18 @@ main(int argc, char **argv)
             "  \"oltp_mcycles_per_sec\": %.2f,\n"
             "  \"parallel_jobs\": %u,\n"
             "  \"parallel_minstr_per_sec\": %.2f,\n"
-            "  \"parallel_scaling_x\": %.3f\n"
+            "  \"parallel_scaling_x\": %.3f,\n"
+            "  \"pec_read_p50_cycles\": %llu,\n"
+            "  \"pec_read_p99_cycles\": %llu,\n"
+            "  \"pec_read_p999_cycles\": %llu\n"
             "}\n",
             static_cast<unsigned long long>(runTicks), args.seeds,
             stream_mips, stream.cycles / 1e6 / stream.hostSec,
             oltp_mips, oltp.cycles / 1e6 / oltp.hostSec, jobs,
-            par_mips, scaling);
+            par_mips, scaling,
+            static_cast<unsigned long long>(read_p50),
+            static_cast<unsigned long long>(read_p99),
+            static_cast<unsigned long long>(read_p999));
         std::fclose(json);
         std::puts("wrote BENCH_selfperf.json");
     }
@@ -217,5 +265,10 @@ main(int argc, char **argv)
     // identical with and without --trace.
     if (args.tracing())
         runOltp(0, &args);
+    if (args.profile) {
+        prof::Report report;
+        report.addHistogram("pec_read_latency_cycles", read_lat);
+        analysis::writeProfile(report, args, "bench_selfperf");
+    }
     return 0;
 }

@@ -2,7 +2,12 @@
  * @file
  * Shared plumbing for the synchronization case-study benches (E5/E6):
  * run each application analogue with cycle-precise lock
- * instrumentation and collect per-lock-class aggregates.
+ * instrumentation and return its per-call-site prof::SyncProfile.
+ *
+ * The per-bench LockClassStats/collectLock aggregation helpers that
+ * used to live here are gone: all aggregation now happens in
+ * prof::SyncProfile / prof::Report (one path for tables, markdown,
+ * and the --profile JSON artifact).
  */
 
 #ifndef LIMIT_BENCH_SYNC_COMMON_HH
@@ -15,6 +20,7 @@
 #include "analysis/bundle.hh"
 #include "analysis/trace_report.hh"
 #include "pec/pec.hh"
+#include "prof/sync_profile.hh"
 #include "workloads/browser.hh"
 #include "workloads/oltp.hh"
 #include "workloads/webserver.hh"
@@ -34,14 +40,6 @@ struct TraceSpec
     unsigned pmuWidth = 22; // wraps every ~4.2M cycles at 3 GHz
 };
 
-/** Aggregated results for one lock class of one app. */
-struct LockClassStats
-{
-    std::string name;
-    pec::RegionStats acquire;
-    pec::RegionStats held;
-};
-
 /** One instrumented application run. */
 struct SyncRunResult
 {
@@ -49,19 +47,8 @@ struct SyncRunResult
     sim::Tick wallTicks = 0;
     std::uint64_t totalCycles = 0; // user+kernel, all threads
     std::uint64_t workItems = 0;   // txns / requests / events
-    std::vector<LockClassStats> locks;
+    prof::SyncProfile sync;
 };
-
-inline void
-collectLock(const pec::RegionProfiler &prof, sim::RegionTable &regions,
-            const std::string &lock_name, SyncRunResult &out)
-{
-    LockClassStats s;
-    s.name = lock_name;
-    s.acquire = prof.stats(regions.find(lock_name + ".acquire"));
-    s.held = prof.stats(regions.find(lock_name + ".held"));
-    out.locks.push_back(std::move(s));
-}
 
 /**
  * Run one app with lock instrumentation for `ticks`. `seed` offsets
@@ -103,6 +90,7 @@ runApp(const std::string &which, sim::Tick ticks, std::uint64_t seed = 0,
         oltp = std::make_unique<workloads::OltpServer>(
             b.machine(), b.kernel(), cfg, 1234 + seed);
         oltp->attachProfiler(&prof);
+        oltp->attachSyncProfile(&out.sync);
         oltp->spawn();
     } else if (which == "web (Apache-like)") {
         workloads::WebConfig cfg;
@@ -110,12 +98,14 @@ runApp(const std::string &which, sim::Tick ticks, std::uint64_t seed = 0,
         web = std::make_unique<workloads::WebServer>(
             b.machine(), b.kernel(), cfg, 1234 + seed);
         web->attachProfiler(&prof);
+        web->attachSyncProfile(&out.sync);
         web->spawn();
     } else {
         workloads::BrowserConfig cfg;
         browser = std::make_unique<workloads::BrowserLoop>(
             b.machine(), b.kernel(), cfg, 1234 + seed);
         browser->attachProfiler(&prof);
+        browser->attachSyncProfile(&out.sync);
         browser->spawn();
     }
 
@@ -123,19 +113,12 @@ runApp(const std::string &which, sim::Tick ticks, std::uint64_t seed = 0,
     out.totalCycles = analysis::totalEvent(b.kernel(),
                                            sim::EventType::Cycles);
 
-    auto &regions = b.machine().regions();
-    if (oltp) {
+    if (oltp)
         out.workItems = oltp->committed();
-        collectLock(prof, regions, "oltp.row-lock", out);
-        collectLock(prof, regions, "oltp.wal", out);
-    } else if (web) {
+    else if (web)
         out.workItems = web->served();
-        collectLock(prof, regions, "web.cache-lock", out);
-        collectLock(prof, regions, "web.access-log", out);
-    } else {
+    else
         out.workItems = browser->totalEvents();
-        collectLock(prof, regions, "browser.image-cache", out);
-    }
     if (tspec)
         analysis::writeTraceReport(b, tspec->path);
     return out;

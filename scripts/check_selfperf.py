@@ -4,12 +4,19 @@ the committed baseline.
 
 Usage: check_selfperf.py BASELINE FRESH [--tolerance PCT]
 
-Only throughput keys (*_per_sec, *_scaling_x) are compared — a fresh
+Throughput keys (*_per_sec, *_scaling_x) gate on slowdown: a fresh
 run being slower than baseline by more than the tolerance fails;
 being faster only prints a note (the committed baseline should then
-be refreshed). Non-throughput keys (run_ticks, repetitions,
+be refreshed). Latency keys (*_cycles — the PEC read-latency
+percentiles) gate the other way: a fresh run exceeding the baseline
+by more than the latency tolerance fails. They are measured in
+*simulated* cycles on a fixed seed, so they are deterministic and
+host-independent — the default latency tolerance is therefore 0%:
+any increase is a real regression (or deliberate cost-model change)
+in the PEC read fast path and must be acknowledged by refreshing the
+baseline. Non-throughput, non-latency keys (run_ticks, repetitions,
 parallel_jobs) must match exactly, since differing run shapes make
-the throughput numbers incomparable.
+the numbers incomparable.
 """
 
 import argparse
@@ -23,6 +30,9 @@ def main() -> int:
     ap.add_argument("fresh")
     ap.add_argument("--tolerance", type=float, default=15.0,
                     help="allowed slowdown, percent (default 15)")
+    ap.add_argument("--latency-tolerance", type=float, default=0.0,
+                    help="allowed latency increase, percent (default 0:"
+                         " the *_cycles keys are simulated-deterministic)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -36,6 +46,23 @@ def main() -> int:
             failures.append(f"{key}: missing from fresh run")
             continue
         fresh_val = fresh[key]
+        if key.endswith("_cycles"):
+            if base_val <= 0:
+                failures.append(f"{key}: non-positive baseline {base_val}")
+                continue
+            delta_pct = 100.0 * (fresh_val - base_val) / base_val
+            marker = "ok"
+            if delta_pct > args.latency_tolerance:
+                marker = "FAIL"
+                failures.append(
+                    f"{key}: {fresh_val} vs baseline {base_val} "
+                    f"({delta_pct:+.1f}% > "
+                    f"+{args.latency_tolerance:.0f}% budget)")
+            elif delta_pct < 0:
+                marker = "faster (consider refreshing the baseline)"
+            print(f"  {key}: {base_val} -> {fresh_val} "
+                  f"({delta_pct:+.1f}%) {marker}")
+            continue
         if not (key.endswith("_per_sec") or key.endswith("_scaling_x")):
             if fresh_val != base_val:
                 failures.append(

@@ -18,7 +18,8 @@ usage(const char *prog, const BenchDefaults &defaults,
     std::fprintf(
         out,
         "usage: %s [--seeds N] [--jobs N] [--trace FILE] "
-        "[--trace-cap N] [--faults SPEC]\n"
+        "[--trace-cap N] [--faults SPEC] [--profile] "
+        "[--profile-out FILE]\n"
         "  --seeds N      %s (default %u)\n"
         "  --jobs N       host threads for parallel experiment "
         "fan-out; 0 = all hardware threads (default %u)\n"
@@ -28,7 +29,11 @@ usage(const char *prog, const BenchDefaults &defaults,
         "(default %u)\n"
         "  --faults SPEC  deterministic fault plan, e.g. "
         "'overflow-read:step=2;drop-pmi:nth=3' "
-        "(see docs/FAULTS.md)\n",
+        "(see docs/FAULTS.md)\n"
+        "  --profile      write a profile JSON (per-call-site lock "
+        "stats, kernel decomposition; see docs/PROFILING.md)\n"
+        "  --profile-out FILE  profile path (default profile.json; "
+        "implies --profile)\n",
         prog,
         what_seeds ? what_seeds
                    : "repetitions averaged per table point",
@@ -145,6 +150,16 @@ tryParseBenchArgs(int argc, char **argv, BenchDefaults defaults)
                 return p;
             }
             p.args.faults = value;
+        } else if (std::strcmp(arg, "--profile") == 0) {
+            p.args.profile = true;
+        } else if ((value =
+                        flagValue("--profile-out", arg, argc, argv, i))) {
+            if (*value == '\0') {
+                p.error = "--profile-out needs a file name";
+                return p;
+            }
+            p.args.profile = true;
+            p.args.profileOut = value;
         } else {
             p.error = std::string("unknown argument '") + arg + "'";
             return p;

@@ -16,11 +16,14 @@
  *                    support it (grammar in docs/FAULTS.md; validated
  *                    here so typos fail fast even in benches that
  *                    ignore the plan)
+ *   --profile        emit a prof::Report JSON profile artifact
+ *   --profile-out F  profile output path (default profile.json;
+ *                    implies --profile)
  * so `bench_e04 --seeds 16 --jobs 8 --trace e04.json` deepens,
  * parallelizes, and instruments a reproduction run without editing
  * source. Flags also accept the --flag=value spelling. Parsing is
- * deliberately tiny — five flags and --help — rather than a general
- * option library.
+ * deliberately tiny — a handful of flags and --help — rather than a
+ * general option library.
  */
 
 #ifndef LIMIT_ANALYSIS_ARGS_HH
@@ -42,8 +45,23 @@ struct BenchArgs
     /** Fault-plan spec (--faults); empty = no injection. Already
         validated by fault::Plan::parse — benches re-parse to use it. */
     std::string faults;
+    /** Emit a prof::Report JSON artifact (--profile / --profile-out). */
+    bool profile = false;
+    /** Profile artifact path (setting it via --profile-out implies
+        --profile). */
+    std::string profileOut = "profile.json";
 
     bool tracing() const { return !trace.empty(); }
+
+    /**
+     * Trace-ring capacity for the instrumented representative run:
+     * nonzero when either a trace artifact or a profile (which pairs
+     * syscall enter/exit records) was requested.
+     */
+    unsigned captureCap() const
+    {
+        return tracing() || profile ? traceCap : 0;
+    }
 };
 
 /**

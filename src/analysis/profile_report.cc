@@ -1,0 +1,83 @@
+#include "analysis/profile_report.hh"
+
+#include <cstdio>
+
+#include "analysis/trace_report.hh"
+#include "prof/kernel_profile.hh"
+
+namespace limit::analysis {
+
+void
+annotateReport(prof::Report &report, SimBundle &bundle,
+               const BenchArgs &args, const std::string &bench)
+{
+    report.meta("bench", bench);
+    report.meta("seeds", static_cast<std::uint64_t>(args.seeds));
+    report.meta("jobs", static_cast<std::uint64_t>(args.jobs));
+    report.meta("sim.max_time_ticks",
+                static_cast<std::uint64_t>(bundle.machine().maxTime()));
+    report.meta("os.context_switches",
+                bundle.kernel().totalContextSwitches());
+    const trace::Tracer *tracer = bundle.tracer();
+    if (tracer) {
+        report.meta("trace.records", tracer->totalRecorded());
+        report.meta("trace.dropped", tracer->totalDropped());
+        for (unsigned c = 0; c < tracer->numCores(); ++c) {
+            const std::uint64_t d = tracer->ring(c).dropped();
+            if (d > 0) {
+                report.meta("trace.dropped.core" + std::to_string(c),
+                            d);
+            }
+        }
+    }
+}
+
+bool
+writeProfile(prof::Report &report, const BenchArgs &args,
+             const std::string &bench)
+{
+    if (!args.profile)
+        return true;
+    report.meta("bench", bench);
+    report.meta("seeds", static_cast<std::uint64_t>(args.seeds));
+    report.meta("jobs", static_cast<std::uint64_t>(args.jobs));
+    if (!report.writeJson(args.profileOut)) {
+        std::fprintf(stderr, "profile: cannot write %s\n",
+                     args.profileOut.c_str());
+        return false;
+    }
+    std::printf("wrote %s\n", args.profileOut.c_str());
+    return true;
+}
+
+bool
+writeRunArtifacts(SimBundle &bundle, const BenchArgs &args,
+                  prof::Report &report, const std::string &bench)
+{
+    bool ok = true;
+    if (args.tracing())
+        ok = writeTraceReport(bundle, args.trace) && ok;
+    if (args.profile)
+        annotateReport(report, bundle, args, bench);
+    return writeProfile(report, args, bench) && ok;
+}
+
+bool
+writeStandardArtifacts(SimBundle &bundle, const BenchArgs &args,
+                       const std::string &bench)
+{
+    prof::Report report;
+    if (args.profile) {
+        report.addKernel(
+            bench,
+            prof::buildKernelProfile(
+                bundle.kernel(),
+                bundle.tracer()
+                    ? bundle.tracer()->merged()
+                    : std::vector<trace::TraceRecord>{}),
+            0, 0); // no PEC cross-check counters in the generic path
+    }
+    return writeRunArtifacts(bundle, args, report, bench);
+}
+
+} // namespace limit::analysis

@@ -28,6 +28,11 @@ harvestStandardMetrics(SimBundle &bundle)
         return;
     m.add("trace.records", tracer->totalRecorded());
     m.add("trace.dropped", tracer->totalDropped());
+    for (unsigned c = 0; c < tracer->numCores(); ++c) {
+        const std::uint64_t d = tracer->ring(c).dropped();
+        if (d > 0)
+            m.add("trace.dropped.core" + std::to_string(c), d);
+    }
     for (unsigned c = 0; c < trace::numTraceCategories; ++c) {
         const auto cat = static_cast<trace::TraceCategory>(c);
         const std::uint64_t n = tracer->categoryCount(cat);
@@ -60,10 +65,18 @@ writeTraceReport(SimBundle &bundle, const std::string &path)
     }
     trace::ExportOptions opts;
     opts.syscallName = os::sysName;
+    opts.counterTracks = true;
     trace::writeChromeTrace(out, *tracer, &bundle.metrics(), opts);
     out.close();
 
     std::fputs(trace::asciiSummary(*tracer).c_str(), stdout);
+    if (tracer->totalDropped() > 0) {
+        std::fprintf(
+            stderr,
+            "trace: %llu records overwritten in the per-core rings; "
+            "the exported trace is incomplete (raise --trace-cap)\n",
+            static_cast<unsigned long long>(tracer->totalDropped()));
+    }
     std::printf("wrote %s (%llu events)\n", path.c_str(),
                 static_cast<unsigned long long>(
                     tracer->totalRecorded() - tracer->totalDropped()));

@@ -1,6 +1,7 @@
 #include "pec/region.hh"
 
 #include <algorithm>
+#include <tuple>
 
 #include "base/logging.hh"
 #include "sim/cpu.hh"
@@ -81,6 +82,7 @@ RegionProfiler::enter(sim::Guest &g, sim::RegionId region)
 
     SegFrame frame;
     frame.region = region;
+    frame.enterTick = g.now();
     if (config_.destructiveReads) {
         // Reset-on-read: drain whatever accumulated before the region
         // so exit's readDelta returns the segment count directly.
@@ -101,7 +103,7 @@ RegionProfiler::enter(sim::Guest &g, sim::RegionId region)
                 g.now(), g.tid(), region);
 }
 
-sim::Task<void>
+sim::Task<std::uint64_t>
 RegionProfiler::exit(sim::Guest &g, sim::RegionId region)
 {
     PecThreadState &st = session_.threadState(g.context());
@@ -131,14 +133,18 @@ RegionProfiler::exit(sim::Guest &g, sim::RegionId region)
 
     RegionStats &rs = stats_[region];
     ++rs.entries;
+    std::uint64_t hist_delta = 0;
     for (unsigned c : config_.counters) {
         std::uint64_t d = deltas[c];
         if (config_.subtractOverhead && calibrated_)
             d = d > overhead_[c] ? d - overhead_[c] : 0;
         rs.totals[c] += d;
-        if (c == config_.histogramCounter)
+        if (c == config_.histogramCounter) {
             rs.histogram.add(d);
+            hist_delta = d;
+        }
     }
+    co_return hist_delta;
 }
 
 const RegionStats &
@@ -159,14 +165,23 @@ RegionProfiler::regions() const
     return out;
 }
 
-std::vector<std::pair<sim::RegionId, std::uint64_t>>
+std::vector<RegionProfiler::OpenVisit>
 RegionProfiler::openRegions() const
 {
-    std::vector<std::pair<sim::RegionId, std::uint64_t>> out;
-    out.reserve(open_.size());
-    for (const auto &[r, n] : open_)
-        out.emplace_back(r, n);
-    std::sort(out.begin(), out.end());
+    // The open visits live on the per-thread segment stacks; walk
+    // them rather than the open_ tally so each visit carries its
+    // owner and enter time.
+    std::vector<OpenVisit> out;
+    for (const auto &st : session_.threadStates()) {
+        if (!st)
+            continue;
+        for (const SegFrame &f : st->segStack)
+            out.push_back({f.region, st->tid, f.enterTick});
+    }
+    std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {
+        return std::tie(a.region, a.tid, a.enterTick) <
+               std::tie(b.region, b.tid, b.enterTick);
+    });
     return out;
 }
 

@@ -77,9 +77,12 @@ class RegionProfiler
 
     /**
      * Finish the innermost open region (must be `region`) and fold
-     * the deltas into its aggregates.
+     * the deltas into its aggregates. Returns this visit's
+     * (overhead-subtracted) delta of the histogram counter, so
+     * callers can attribute the measurement further (e.g. per
+     * call site) without a second read.
      */
-    sim::Task<void> exit(sim::Guest &g, sim::RegionId region);
+    sim::Task<std::uint64_t> exit(sim::Guest &g, sim::RegionId region);
 
     /** Aggregates for `region` (zeros when never visited). */
     const RegionStats &stats(sim::RegionId region) const;
@@ -88,15 +91,28 @@ class RegionProfiler
     std::vector<sim::RegionId> regions() const;
 
     /**
-     * Diagnostic: regions with entries still open (entered, never
-     * exited) and how many, sorted by region id. A visit that never
-     * exits contributes nothing to stats() — it has no delta to fold
-     * — so a non-empty result means the aggregates silently miss
-     * those visits (typically a guest that hit the stop request
-     * mid-region). Surfacing beats dropping.
+     * One entered-never-exited visit: which region, which thread
+     * holds it open, and when it was entered.
      */
-    std::vector<std::pair<sim::RegionId, std::uint64_t>>
-    openRegions() const;
+    struct OpenVisit
+    {
+        sim::RegionId region = sim::noRegion;
+        sim::ThreadId tid = sim::invalidThread;
+        sim::Tick enterTick = 0;
+
+        bool operator==(const OpenVisit &) const = default;
+    };
+
+    /**
+     * Diagnostic: every visit still open (entered, never exited),
+     * sorted by (region, tid, enterTick). A visit that never exits
+     * contributes nothing to stats() — it has no delta to fold — so
+     * a non-empty result means the aggregates silently miss those
+     * visits (typically a guest that hit the stop request
+     * mid-region). Surfacing beats dropping; prof::Report emits
+     * these as their own section.
+     */
+    std::vector<OpenVisit> openRegions() const;
 
     /** Calibrated per-visit overhead for counter `ctr`. */
     std::uint64_t overhead(unsigned ctr) const { return overhead_[ctr]; }

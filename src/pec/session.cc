@@ -109,6 +109,7 @@ PecSession::threadState(sim::GuestContext &ctx)
     auto st = std::make_unique<PecThreadState>();
     st->pageAddr = counterPageBase +
                    static_cast<sim::Addr>(ctx.tid()) * 4096;
+    st->tid = ctx.tid();
     PecThreadState &ref = *st;
     states_.push_back(std::move(st));
     ctx.pecThread = &ref;

@@ -73,6 +73,8 @@ struct SegFrame
 {
     sim::RegionId region = sim::noRegion;
     std::array<std::uint64_t, sim::maxPmuCounters> start{};
+    /** Simulated time the region was entered. */
+    sim::Tick enterTick = 0;
 };
 
 /** Per-thread userspace counter page (lazily attached to a thread). */
@@ -82,6 +84,8 @@ struct PecThreadState
     std::array<std::uint64_t, sim::maxPmuCounters> ovfAccum{};
     /** Simulated address of this thread's counter page. */
     sim::Addr pageAddr = 0;
+    /** Owning thread, recorded at first attach. */
+    sim::ThreadId tid = sim::invalidThread;
     /** Stack of open segment measurements (nesting supported). */
     std::vector<SegFrame> segStack;
 };
@@ -132,6 +136,13 @@ class PecSession
 
     /** Per-thread state, created on first use. */
     PecThreadState &threadState(sim::GuestContext &ctx);
+
+    /** All per-thread states created so far (diagnostics). */
+    const std::vector<std::unique_ptr<PecThreadState>> &
+    threadStates() const
+    {
+        return states_;
+    }
 
     /**
      * Host-side harvest of one thread's full 64-bit value for counter

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Report: the profile-to-output pipeline.
+ *
+ * Benches feed per-run profiles (sync, kernel, named histograms,
+ * open-region diagnostics) into a Report; it renders the machine-
+ * readable JSON artifact (--profile-out), the aligned-ASCII tables
+ * the benches print, and the markdown tables EXPERIMENTS.md embeds —
+ * one aggregation path for all three, so the published numbers can
+ * never drift from the profile data.
+ *
+ * Everything is deterministic: sections keep insertion order, maps
+ * iterate sorted, and all statistics are exact integers (or ratios
+ * thereof), so a rerun with the same seeds produces a byte-identical
+ * JSON file.
+ */
+
+#ifndef LIMIT_PROF_REPORT_HH
+#define LIMIT_PROF_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pec/region.hh"
+#include "prof/kernel_profile.hh"
+#include "prof/sync_profile.hh"
+#include "stats/hdr_histogram.hh"
+#include "stats/table.hh"
+
+namespace limit::prof {
+
+/** Aggregates profiles and renders JSON / ASCII / markdown. */
+class Report
+{
+  public:
+    /** One named synchronization section (e.g. one application). */
+    struct SyncSection
+    {
+        std::string name;
+        SyncProfile profile;
+        /** All-thread user+kernel cycles, summed over runs. */
+        std::uint64_t totalCycles = 0;
+        /** Txns / requests / events, summed over runs. */
+        std::uint64_t workItems = 0;
+        unsigned runs = 0;
+    };
+
+    /** One named kernel-interaction section. */
+    struct KernelSection
+    {
+        std::string name;
+        KernelProfile profile;
+        /** PEC mode-filtered instruction totals (drift check). */
+        std::uint64_t pecUserInstructions = 0;
+        std::uint64_t pecKernelInstructions = 0;
+        unsigned runs = 0;
+    };
+
+    /** Free-form run metadata, emitted under "meta". */
+    void meta(const std::string &key, const std::string &value);
+    void meta(const std::string &key, std::uint64_t value);
+    void meta(const std::string &key, double value);
+
+    /**
+     * Add one run's synchronization profile under `name`; repeated
+     * adds with the same name merge (multi-seed aggregation).
+     */
+    void addSync(const std::string &name, const SyncProfile &profile,
+                 std::uint64_t total_cycles, std::uint64_t work_items);
+
+    /** Add one run's kernel profile under `name`; same-name merges. */
+    void addKernel(const std::string &name, const KernelProfile &profile,
+                   std::uint64_t pec_user_instructions,
+                   std::uint64_t pec_kernel_instructions);
+
+    /** Attach a standalone named histogram (e.g. read latencies). */
+    void addHistogram(const std::string &name,
+                      const stats::HdrHistogram &histogram);
+
+    /**
+     * Record `profiler`'s entered-never-exited visits (resolved to
+     * region names) so dangling measurements show up in the output,
+     * not just the diagnostic API.
+     */
+    void addOpenRegions(const pec::RegionProfiler &profiler,
+                        const sim::RegionTable &regions);
+
+    const SyncSection *sync(const std::string &name) const;
+    const KernelSection *kernel(const std::string &name) const;
+    const std::vector<SyncSection> &syncSections() const
+    {
+        return sync_;
+    }
+    const std::vector<KernelSection> &kernelSections() const
+    {
+        return kernel_;
+    }
+
+    /** @name Rendering @{ */
+
+    /** E5a-style per-application summary. */
+    stats::Table syncSummaryTable(const std::string &title) const;
+
+    /** E5b-style per-lock-class × call-site detail. */
+    stats::Table syncDetailTable(const std::string &title) const;
+
+    /** E7-style kernel/user breakdown with ledger drift. */
+    stats::Table kernelTable(const std::string &title) const;
+
+    /** The markdown table EXPERIMENTS.md embeds for E5. */
+    std::string syncSummaryMarkdown() const;
+
+    /**
+     * The markdown table EXPERIMENTS.md embeds for E7, rows sorted
+     * by kernel share descending (the published presentation).
+     */
+    std::string kernelMarkdown() const;
+
+    /** The whole report as deterministic JSON. */
+    std::string toJson() const;
+
+    /** Write toJson() to `path`; false on I/O failure. */
+    bool writeJson(const std::string &path) const;
+    /** @} */
+
+  private:
+    struct OpenRegionEntry
+    {
+        std::string region;
+        sim::ThreadId tid = sim::invalidThread;
+        sim::Tick enterTick = 0;
+    };
+
+    SyncSection &syncSection(const std::string &name);
+    KernelSection &kernelSection(const std::string &name);
+
+    std::map<std::string, std::string> meta_;
+    std::vector<SyncSection> sync_;
+    std::vector<KernelSection> kernel_;
+    std::vector<std::pair<std::string, stats::HdrHistogram>> histograms_;
+    std::vector<OpenRegionEntry> openRegions_;
+};
+
+} // namespace limit::prof
+
+#endif // LIMIT_PROF_REPORT_HH

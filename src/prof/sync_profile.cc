@@ -1,0 +1,193 @@
+#include "prof/sync_profile.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace limit::prof {
+
+void
+SyncSiteStats::merge(const SyncSiteStats &other)
+{
+    acquisitions += other.acquisitions;
+    contended += other.contended;
+    futexWaits += other.futexWaits;
+    waitCycles.merge(other.waitCycles);
+    holdCycles.merge(other.holdCycles);
+}
+
+CallSiteId
+SyncProfile::internSite(std::string_view name)
+{
+    for (std::size_t i = 0; i < siteNames_.size(); ++i) {
+        if (siteNames_[i] == name)
+            return static_cast<CallSiteId>(i);
+    }
+    siteNames_.emplace_back(name);
+    return static_cast<CallSiteId>(siteNames_.size() - 1);
+}
+
+const std::string &
+SyncProfile::siteName(CallSiteId site) const
+{
+    static const std::string unknown = "?";
+    return site < siteNames_.size() ? siteNames_[site] : unknown;
+}
+
+void
+SyncProfile::onAcquire(sim::Addr lock, std::string_view lock_name,
+                       CallSiteId site, sim::ThreadId waiter,
+                       sim::ThreadId owner_at_entry,
+                       std::uint64_t wait_cycles,
+                       std::uint64_t futex_waits)
+{
+    lockNames_.emplace(lock, std::string(lock_name));
+    SyncSiteStats &s = sites_[{lock, site}];
+    ++s.acquisitions;
+    s.futexWaits += futex_waits;
+    s.waitCycles.add(wait_cycles);
+    if (futex_waits > 0) {
+        ++s.contended;
+        if (owner_at_entry != sim::invalidThread &&
+            owner_at_entry != waiter) {
+            WaitEdge &e = edges_[{waiter, owner_at_entry}];
+            ++e.count;
+            e.waitCycles += wait_cycles;
+        }
+    }
+}
+
+void
+SyncProfile::onRelease(sim::Addr lock, CallSiteId site,
+                       std::uint64_t hold_cycles)
+{
+    sites_[{lock, site}].holdCycles.add(hold_cycles);
+}
+
+std::uint64_t
+SyncProfile::totalAcquisitions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[k, s] : sites_)
+        n += s.acquisitions;
+    return n;
+}
+
+std::uint64_t
+SyncProfile::totalContended() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[k, s] : sites_)
+        n += s.contended;
+    return n;
+}
+
+std::uint64_t
+SyncProfile::totalWaitCycles() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[k, s] : sites_)
+        n += s.waitCycles.totalValue();
+    return n;
+}
+
+std::uint64_t
+SyncProfile::totalHoldCycles() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[k, s] : sites_)
+        n += s.holdCycles.totalValue();
+    return n;
+}
+
+SyncSiteStats
+SyncProfile::classStats(std::string_view lock_name) const
+{
+    SyncSiteStats out;
+    for (const auto &[key, s] : sites_) {
+        auto it = lockNames_.find(key.first);
+        if (it != lockNames_.end() && it->second == lock_name)
+            out.merge(s);
+    }
+    return out;
+}
+
+std::vector<std::string>
+SyncProfile::classNames() const
+{
+    std::vector<std::string> out;
+    for (const auto &[addr, name] : lockNames_) {
+        if (std::find(out.begin(), out.end(), name) == out.end())
+            out.push_back(name);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+SyncProfile::Chain
+SyncProfile::longestWaiterChain() const
+{
+    // Adjacency: waiter -> [(owner, cycles)], sorted by tid for
+    // determinism (std::map iteration order).
+    std::map<sim::ThreadId, std::vector<std::pair<sim::ThreadId,
+                                                  std::uint64_t>>> adj;
+    for (const auto &[key, e] : edges_)
+        adj[key.first].emplace_back(key.second, e.waitCycles);
+
+    // Thread counts are small (tens), so plain DFS over simple paths
+    // is fine; the wait graph can contain cycles (A waited on B in
+    // one acquisition, B on A in another), hence the on-path set.
+    Chain best;
+    std::vector<sim::ThreadId> path;
+    std::vector<sim::ThreadId> on_path;
+
+    auto dfs = [&](auto &&self, sim::ThreadId node,
+                   std::uint64_t cycles) -> void {
+        path.push_back(node);
+        on_path.push_back(node);
+        if (cycles > best.waitCycles ||
+            (cycles == best.waitCycles &&
+             path.size() > best.tids.size())) {
+            best.tids = path;
+            best.waitCycles = cycles;
+        }
+        auto it = adj.find(node);
+        if (it != adj.end()) {
+            for (const auto &[next, w] : it->second) {
+                if (std::find(on_path.begin(), on_path.end(), next) !=
+                    on_path.end())
+                    continue;
+                self(self, next, cycles + w);
+            }
+        }
+        path.pop_back();
+        on_path.pop_back();
+    };
+    for (const auto &[start, out_edges] : adj)
+        dfs(dfs, start, 0);
+    if (best.tids.size() < 2)
+        return {}; // no edges: no chain worth reporting
+    return best;
+}
+
+void
+SyncProfile::merge(const SyncProfile &other)
+{
+    for (const auto &[addr, name] : other.lockNames_)
+        lockNames_.emplace(addr, name);
+    for (const auto &[key, s] : other.sites_) {
+        // Remap the other profile's site id through its label: the
+        // two profiles interned independently.
+        const CallSiteId site = key.second == noCallSite
+            ? noCallSite
+            : internSite(other.siteName(key.second));
+        sites_[{key.first, site}].merge(s);
+    }
+    for (const auto &[key, e] : other.edges_) {
+        WaitEdge &mine = edges_[key];
+        mine.count += e.count;
+        mine.waitCycles += e.waitCycles;
+    }
+}
+
+} // namespace limit::prof

@@ -1,8 +1,10 @@
 #include "trace/exporter.hh"
 
 #include <cstdio>
+#include <map>
 #include <ostream>
 #include <set>
+#include <string>
 
 #include "trace/metrics.hh"
 
@@ -75,6 +77,8 @@ writeChromeTrace(std::ostream &os, const Tracer &tracer,
     }
 
     char ts[48];
+    std::map<std::pair<std::uint16_t, std::string>, std::uint64_t>
+        counter_track_state;
     for (const TraceRecord &r : records) {
         sep();
         // Instant events with thread scope: ts in microseconds of
@@ -111,6 +115,34 @@ writeChromeTrace(std::ostream &os, const Tracer &tracer,
             }
         }
         os << "}}";
+
+        if (options.counterTracks) {
+            // Counter tracks are cumulative per core, so a viewer
+            // shows event *rates* as track slopes.
+            const char *track = nullptr;
+            switch (r.event) {
+              case TraceEvent::ContextSwitch:
+                track = "ctx-switches";
+                break;
+              case TraceEvent::SyscallEnter:
+                track = "syscalls";
+                break;
+              case TraceEvent::PmiDelivered:
+                track = "pmis";
+                break;
+              default:
+                break;
+            }
+            if (track) {
+                const std::uint64_t value =
+                    ++counter_track_state[{r.core, track}];
+                sep();
+                os << "    {\"name\": \"" << track
+                   << "\", \"ph\": \"C\", \"ts\": " << ts
+                   << ", \"pid\": " << r.core
+                   << ", \"args\": {\"value\": " << value << "}}";
+            }
+        }
     }
 
     os << "\n  ],\n  \"dropped\": {";
@@ -134,6 +166,17 @@ asciiSummary(const Tracer &tracer)
                   static_cast<unsigned long long>(tracer.totalRecorded()),
                   static_cast<unsigned long long>(tracer.totalDropped()));
     out += line;
+    for (unsigned c = 0; c < tracer.numCores(); ++c) {
+        const std::uint64_t d = tracer.ring(c).dropped();
+        if (d == 0)
+            continue;
+        std::snprintf(line, sizeof line,
+                      "  core%-4u dropped %10llu of %llu\n", c,
+                      static_cast<unsigned long long>(d),
+                      static_cast<unsigned long long>(
+                          tracer.ring(c).written()));
+        out += line;
+    }
     for (unsigned c = 0; c < numTraceCategories; ++c) {
         const auto cat = static_cast<TraceCategory>(c);
         if (tracer.categoryCount(cat) == 0)

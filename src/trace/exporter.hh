@@ -37,6 +37,14 @@ struct ExportOptions
      * without this library depending on it.
      */
     const char *(*syscallName)(std::uint32_t nr) = nullptr;
+
+    /**
+     * Also emit Perfetto counter tracks ("ph": "C"): per-core
+     * cumulative context switches, syscalls, and PMIs, stepped at
+     * every matching record. Off by default — it roughly doubles the
+     * event count for syscall-dense traces.
+     */
+    bool counterTracks = false;
 };
 
 /**

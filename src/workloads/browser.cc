@@ -40,6 +40,14 @@ BrowserLoop::attachProfiler(pec::RegionProfiler *profiler)
 }
 
 void
+BrowserLoop::attachSyncProfile(prof::SyncProfile *sync)
+{
+    if (sync != nullptr)
+        siteDecode_ = sync->internSite("BrowserLoop::helperBody/decode-insert");
+    imageLock_->attachSyncProfile(sync);
+}
+
+void
 BrowserLoop::spawn()
 {
     mainTid_ = kernel_.spawn(
@@ -243,7 +251,7 @@ BrowserLoop::helperBody(sim::Guest &g)
             co_await g.load(a);
             co_await g.compute(14);
         }
-        co_await imageLock_->lock(g);
+        co_await imageLock_->lock(g, siteDecode_);
         co_await g.store(imageRegion_.base);
         co_await g.compute(90); // insert into the decoded-image cache
         co_await imageLock_->unlock(g);

@@ -86,6 +86,10 @@ class BrowserLoop
 
     /** Instrument handlers (regions "browser.<kind>") and locks. */
     void attachProfiler(pec::RegionProfiler *profiler);
+
+    /** Attribute lock traffic per call site into `sync`. */
+    void attachSyncProfile(prof::SyncProfile *sync);
+
     void spawn();
 
     const BrowserConfig &config() const { return config_; }
@@ -144,6 +148,8 @@ class BrowserLoop
     std::uint64_t decodes_ = 0;
     std::uint64_t gcs_ = 0;
     std::uint64_t queued_ = 0;
+
+    prof::CallSiteId siteDecode_ = prof::noCallSite;
 };
 
 } // namespace limit::workloads

@@ -8,6 +8,15 @@
  * call itself (fast-path CAS through futex sleeps) and "<name>.held"
  * covers the critical section. With no profiler attached the wrapper
  * adds zero guest work, giving the uninstrumented baseline.
+ *
+ * When a prof::SyncProfile is also attached, each acquire/release is
+ * attributed host-side to (lock address, acquire call site): the
+ * region exit's overhead-subtracted counter delta becomes the wait
+ * (resp. hold) sample, the futex-wait count from Mutex::lock marks
+ * contention, and the owner observed at entry forms the waiter→owner
+ * edge for the longest-waiter-chain report. Attribution is entirely
+ * host-side bookkeeping — the guest instruction stream is identical
+ * with or without a SyncProfile attached.
  */
 
 #ifndef LIMIT_WORKLOADS_INSTRUMENTED_MUTEX_HH
@@ -16,6 +25,7 @@
 #include <string>
 
 #include "pec/region.hh"
+#include "prof/sync_profile.hh"
 #include "sim/region_table.hh"
 #include "sync/mutex.hh"
 
@@ -27,7 +37,7 @@ class InstrumentedMutex
   public:
     InstrumentedMutex(sim::Addr addr, const std::string &name,
                       sim::RegionTable &regions)
-        : mutex_(addr),
+        : mutex_(addr), name_(name),
           acquireRegion_(regions.intern(name + ".acquire")),
           heldRegion_(regions.intern(name + ".held"))
     {}
@@ -38,19 +48,47 @@ class InstrumentedMutex
         profiler_ = profiler;
     }
 
-    /** Acquire, measuring acquisition and opening the held region. */
+    /**
+     * Enable per-call-site attribution (nullptr disables). Without a
+     * RegionProfiler also attached, acquisitions/contention/edges are
+     * still recorded but wait/hold cycle samples are zero.
+     */
+    void attachSyncProfile(prof::SyncProfile *sync) { sync_ = sync; }
+
+    /**
+     * Acquire, measuring acquisition and opening the held region.
+     * `site` labels the caller for attribution (prof::noCallSite
+     * groups all unlabelled callers).
+     */
     sim::Task<void>
-    lock(sim::Guest &g)
+    lock(sim::Guest &g, prof::CallSiteId site = prof::noCallSite)
     {
+        // Read before the lock attempt: whoever holds the lock when we
+        // arrive is whom a contended acquisition waited on. The owner
+        // can hand off while we sleep, so the edge names the owner at
+        // entry (documented approximation).
+        const sim::ThreadId owner_at_entry = owner_;
+
         if (profiler_ == nullptr) {
             const std::uint64_t w = co_await mutex_.lock(g);
-            (void)w;
+            if (sync_ != nullptr) {
+                sync_->onAcquire(mutex_.addr(), name_, site, g.tid(),
+                                 owner_at_entry, 0, w);
+            }
+            owner_ = g.tid();
+            ownerSite_ = site;
             co_return;
         }
         co_await profiler_->enter(g, acquireRegion_);
         const std::uint64_t w = co_await mutex_.lock(g);
-        (void)w;
-        co_await profiler_->exit(g, acquireRegion_);
+        const std::uint64_t wait =
+            co_await profiler_->exit(g, acquireRegion_);
+        if (sync_ != nullptr) {
+            sync_->onAcquire(mutex_.addr(), name_, site, g.tid(),
+                             owner_at_entry, wait, w);
+        }
+        owner_ = g.tid();
+        ownerSite_ = site;
         co_await profiler_->enter(g, heldRegion_);
     }
 
@@ -58,24 +96,40 @@ class InstrumentedMutex
     sim::Task<void>
     unlock(sim::Guest &g)
     {
+        // The hold is attributed to the acquiring call site: "who held
+        // this lock" is a property of where it was taken.
+        const prof::CallSiteId site = ownerSite_;
+        owner_ = sim::invalidThread;
+        ownerSite_ = prof::noCallSite;
         if (profiler_ == nullptr) {
+            if (sync_ != nullptr)
+                sync_->onRelease(mutex_.addr(), site, 0);
             co_await mutex_.unlock(g);
             co_return;
         }
-        co_await profiler_->exit(g, heldRegion_);
+        const std::uint64_t held =
+            co_await profiler_->exit(g, heldRegion_);
+        if (sync_ != nullptr)
+            sync_->onRelease(mutex_.addr(), site, held);
         co_await mutex_.unlock(g);
     }
 
     sync::Mutex &raw() { return mutex_; }
+    const std::string &name() const { return name_; }
     sim::RegionId acquireRegion() const { return acquireRegion_; }
     sim::RegionId heldRegion() const { return heldRegion_; }
     std::uint64_t acquisitions() const { return mutex_.acquisitions(); }
 
   private:
     sync::Mutex mutex_;
+    std::string name_;
     sim::RegionId acquireRegion_;
     sim::RegionId heldRegion_;
     pec::RegionProfiler *profiler_ = nullptr;
+    prof::SyncProfile *sync_ = nullptr;
+    /** Host-side shadow of the current holder (for wait edges). */
+    sim::ThreadId owner_ = sim::invalidThread;
+    prof::CallSiteId ownerSite_ = prof::noCallSite;
 };
 
 } // namespace limit::workloads

@@ -83,6 +83,18 @@ OltpServer::attachProfiler(pec::RegionProfiler *profiler)
 }
 
 void
+OltpServer::attachSyncProfile(prof::SyncProfile *sync)
+{
+    if (sync != nullptr) {
+        siteUpdate_ = sync->internSite("OltpServer::runTransaction/update");
+        siteWal_ = sync->internSite("OltpServer::runTransaction/wal-append");
+    }
+    for (auto &s : stripes_)
+        s->attachSyncProfile(sync);
+    wal_->attachSyncProfile(sync);
+}
+
+void
 OltpServer::spawn()
 {
     for (unsigned i = 0; i < config_.clients; ++i) {
@@ -187,7 +199,7 @@ OltpServer::runTransaction(sim::Guest &g)
                 *stripes_[table * config_.lockStripes +
                           static_cast<unsigned>(
                               row % config_.lockStripes)];
-            co_await stripe.lock(g);
+            co_await stripe.lock(g, siteUpdate_);
             // Short critical section: modify the row in place.
             co_await g.load(row_addr);
             co_await g.store(row_addr);
@@ -196,7 +208,7 @@ OltpServer::runTransaction(sim::Guest &g)
             co_await stripe.unlock(g);
 
             // Append to the write-ahead log (global lock, very short).
-            co_await wal_->lock(g);
+            co_await wal_->lock(g, siteWal_);
             const sim::Addr slot =
                 logRegion_.base + (logOffset_ % logRegion_.bytes);
             logOffset_ += 128;

@@ -72,6 +72,9 @@ class OltpServer
     /** Route all lock instrumentation through `profiler`. */
     void attachProfiler(pec::RegionProfiler *profiler);
 
+    /** Attribute lock traffic per call site into `sync`. */
+    void attachSyncProfile(prof::SyncProfile *sync);
+
     /** Create the client threads (they run until shouldStop()). */
     void spawn();
 
@@ -126,6 +129,10 @@ class OltpServer
     std::uint64_t operations_ = 0;
     std::uint64_t scans_ = 0;
     std::uint64_t splits_ = 0;
+
+    /** Interned acquire call sites (valid once a profile attached). */
+    prof::CallSiteId siteUpdate_ = prof::noCallSite;
+    prof::CallSiteId siteWal_ = prof::noCallSite;
 };
 
 } // namespace limit::workloads

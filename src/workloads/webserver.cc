@@ -38,6 +38,20 @@ WebServer::attachProfiler(pec::RegionProfiler *profiler)
 }
 
 void
+WebServer::attachSyncProfile(prof::SyncProfile *sync)
+{
+    if (sync != nullptr) {
+        siteProbe_ = sync->internSite("WebServer::handleRequest/cache-probe");
+        siteInstall_ =
+            sync->internSite("WebServer::handleRequest/cache-install");
+        siteLog_ = sync->internSite("WebServer::handleRequest/access-log");
+    }
+    for (auto &c : cacheLocks_)
+        c->attachSyncProfile(sync);
+    logLock_->attachSyncProfile(sync);
+}
+
+void
 WebServer::spawn()
 {
     acceptorTid_ = kernel_.spawn(
@@ -119,7 +133,7 @@ WebServer::handleRequest(sim::Guest &g, std::uint64_t conn)
 
     // Probe the content cache (short critical section).
     bool hit;
-    co_await stripe.lock(g);
+    co_await stripe.lock(g, siteProbe_);
     co_await g.load(doc_addr);
     co_await g.compute(70); // hash lookup + LRU touch
     hit = rng.chance(config_.hitRatio);
@@ -130,7 +144,7 @@ WebServer::handleRequest(sim::Guest &g, std::uint64_t conn)
         // Fetch from disk, then install in the cache.
         co_await g.syscall(os::sysIoSubmit,
                            {config_.diskLatency, 0, 0, 0});
-        co_await stripe.lock(g);
+        co_await stripe.lock(g, siteInstall_);
         co_await g.store(doc_addr);
         co_await g.store(doc_addr + 64);
         co_await g.compute(120);
@@ -143,7 +157,7 @@ WebServer::handleRequest(sim::Guest &g, std::uint64_t conn)
     co_await g.syscall(os::sysIoSubmit, {config_.netLatency, 0, 0, 0});
 
     // Append to the access log (global lock, very short hold).
-    co_await logLock_->lock(g);
+    co_await logLock_->lock(g, siteLog_);
     const sim::Addr slot =
         logRegion_.base + (logOffset_ % logRegion_.bytes);
     logOffset_ += 64;

@@ -53,6 +53,10 @@ class WebServer
               const WebConfig &config, std::uint64_t seed);
 
     void attachProfiler(pec::RegionProfiler *profiler);
+
+    /** Attribute lock traffic per call site into `sync`. */
+    void attachSyncProfile(prof::SyncProfile *sync);
+
     void spawn();
 
     const WebConfig &config() const { return config_; }
@@ -102,6 +106,10 @@ class WebServer
     std::uint64_t served_ = 0;
     std::uint64_t cacheMisses_ = 0;
     std::uint64_t accepted_ = 0;
+
+    prof::CallSiteId siteProbe_ = prof::noCallSite;
+    prof::CallSiteId siteInstall_ = prof::noCallSite;
+    prof::CallSiteId siteLog_ = prof::noCallSite;
 };
 
 } // namespace limit::workloads

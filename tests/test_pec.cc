@@ -456,8 +456,9 @@ TEST(RegionProfiler, OpenRegionsReportsEnteredNeverExitedVisits)
     EXPECT_EQ(prof.stats(dangling).entries, 0u);
     const auto open = prof.openRegions();
     ASSERT_EQ(open.size(), 1u);
-    EXPECT_EQ(open[0].first, dangling);
-    EXPECT_EQ(open[0].second, 1u);
+    EXPECT_EQ(open[0].region, dangling);
+    EXPECT_NE(open[0].tid, limit::sim::invalidThread);
+    EXPECT_GT(open[0].enterTick, 0u);
 }
 
 TEST(RegionProfilerDeathTest, ExitWithoutEnterPanics)
