@@ -3,11 +3,16 @@
 the committed baseline.
 
 Usage: check_selfperf.py BASELINE FRESH [--tolerance PCT]
+                         [--floor KEY=VALUE]...
 
-Throughput keys (*_per_sec, *_scaling_x) gate on slowdown: a fresh
+Throughput keys (*_per_sec, *_x ratios such as parallel_scaling_x
+and batch_speedup_x, and *_ops_per_round) gate on slowdown: a fresh
 run being slower than baseline by more than the tolerance fails;
 being faster only prints a note (the committed baseline should then
-be refreshed). Latency keys (*_cycles — the PEC read-latency
+be refreshed). --floor KEY=VALUE (repeatable) additionally enforces
+an absolute minimum on a fresh-run key, independent of the baseline
+— CI uses it to pin hard floors under the headline throughputs so a
+slow creep across many refreshed baselines still gets caught. Latency keys (*_cycles — the PEC read-latency
 percentiles) gate the other way: a fresh run exceeding the baseline
 by more than the latency tolerance fails. They are measured in
 *simulated* cycles on a fixed seed, so they are deterministic and
@@ -33,7 +38,22 @@ def main() -> int:
     ap.add_argument("--latency-tolerance", type=float, default=0.0,
                     help="allowed latency increase, percent (default 0:"
                          " the *_cycles keys are simulated-deterministic)")
+    ap.add_argument("--floor", action="append", default=[],
+                    metavar="KEY=VALUE",
+                    help="absolute floor on a fresh-run key (repeatable);"
+                         " fails if fresh[KEY] < VALUE")
     args = ap.parse_args()
+
+    floors = []
+    for spec in args.floor:
+        key, sep, text = spec.partition("=")
+        if not sep or not key:
+            ap.error(f"--floor needs KEY=VALUE, got '{spec}'")
+        try:
+            floors.append((key, float(text)))
+        except ValueError:
+            ap.error(f"--floor value for '{key}' is not a number: "
+                     f"'{text}'")
 
     with open(args.baseline) as f:
         base = json.load(f)
@@ -63,7 +83,7 @@ def main() -> int:
             print(f"  {key}: {base_val} -> {fresh_val} "
                   f"({delta_pct:+.1f}%) {marker}")
             continue
-        if not (key.endswith("_per_sec") or key.endswith("_scaling_x")):
+        if not key.endswith(("_per_sec", "_x", "_ops_per_round")):
             if fresh_val != base_val:
                 failures.append(
                     f"{key}: run shape changed ({base_val} -> "
@@ -83,6 +103,17 @@ def main() -> int:
             marker = "faster (consider refreshing the baseline)"
         print(f"  {key}: {base_val:.2f} -> {fresh_val:.2f} "
               f"({delta_pct:+.1f}%) {marker}")
+
+    for key, want in floors:
+        if key not in fresh:
+            failures.append(f"{key}: --floor key missing from fresh run")
+            continue
+        have = fresh[key]
+        marker = "ok"
+        if have < want:
+            marker = "FAIL"
+            failures.append(f"{key}: {have} below floor {want}")
+        print(f"  {key}: {have} >= floor {want} {marker}")
 
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "fault/plan.hh"
+#include "sim/machine.hh"
 
 namespace limit::analysis {
 
@@ -33,7 +34,10 @@ usage(const char *prog, const BenchDefaults &defaults,
         "  --profile      write a profile JSON (per-call-site lock "
         "stats, kernel decomposition; see docs/PROFILING.md)\n"
         "  --profile-out FILE  profile path (default profile.json; "
-        "implies --profile)\n",
+        "implies --profile)\n"
+        "  --no-batch     run the per-op reference scheduler instead "
+        "of horizon-batched execution (bit-identical results, "
+        "slower; for equivalence checking)\n",
         prog,
         what_seeds ? what_seeds
                    : "repetitions averaged per table point",
@@ -150,6 +154,8 @@ tryParseBenchArgs(int argc, char **argv, BenchDefaults defaults)
                 return p;
             }
             p.args.faults = value;
+        } else if (std::strcmp(arg, "--no-batch") == 0) {
+            p.args.noBatch = true;
         } else if (std::strcmp(arg, "--profile") == 0) {
             p.args.profile = true;
         } else if ((value =
@@ -180,6 +186,11 @@ parseBenchArgs(int argc, char **argv, BenchDefaults defaults,
         std::fprintf(stderr, "%s: %s\n", prog, p.error.c_str());
         usage(prog, defaults, what_seeds, 2);
     }
+    // Process-wide so every machine the bench builds — including ones
+    // constructed deep inside helpers — honours the flag. (The pure
+    // tryParseBenchArgs only records it; side effects live here.)
+    if (p.args.noBatch)
+        sim::setBatchedExecutionDefault(false);
     return p.args;
 }
 

@@ -19,6 +19,9 @@
  *   --profile        emit a prof::Report JSON profile artifact
  *   --profile-out F  profile output path (default profile.json;
  *                    implies --profile)
+ *   --no-batch       per-op reference scheduler instead of horizon
+ *                    batching (bit-identical, slower; equivalence
+ *                    checking and CI)
  * so `bench_e04 --seeds 16 --jobs 8 --trace e04.json` deepens,
  * parallelizes, and instruments a reproduction run without editing
  * source. Flags also accept the --flag=value spelling. Parsing is
@@ -47,6 +50,13 @@ struct BenchArgs
     std::string faults;
     /** Emit a prof::Report JSON artifact (--profile / --profile-out). */
     bool profile = false;
+    /**
+     * Force the per-op reference scheduler (--no-batch). Applied by
+     * parseBenchArgs via sim::setBatchedExecutionDefault(false); every
+     * published number is bit-identical either way — the flag exists
+     * so CI can keep proving that.
+     */
+    bool noBatch = false;
     /** Profile artifact path (setting it via --profile-out implies
         --profile). */
     std::string profileOut = "profile.json";

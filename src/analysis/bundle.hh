@@ -43,6 +43,14 @@ struct BundleOptions
      * ever recorded into it.)
      */
     unsigned traceCapacity = 0;
+    /**
+     * Horizon-batched run loop (sim::MachineConfig::batched). Results
+     * are bit-identical either way; false forces the per-op reference
+     * scheduler for this bundle even when the process default is
+     * batched. Overridden globally by --no-batch and
+     * LIMITPP_FORCE_NO_BATCH (see sim::setBatchedExecutionDefault).
+     */
+    bool batched = true;
 
     class Builder;
     /** Start a validated fluent build (canonical defaults). */
@@ -104,6 +112,12 @@ class BundleOptions::Builder
     Builder &traceCapacity(unsigned records)
     {
         o_.traceCapacity = records;
+        return *this;
+    }
+    /** Per-op reference scheduler instead of horizon batching. */
+    Builder &batched(bool on)
+    {
+        o_.batched = on;
         return *this;
     }
 

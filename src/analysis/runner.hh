@@ -68,14 +68,21 @@ class ParallelRunner
         static_assert(!std::is_void_v<R>,
                       "ParallelRunner::map jobs must return a value");
 
-        std::vector<std::optional<R>> slots(count);
-        std::vector<std::exception_ptr> errors(count);
+        // One cache line per job: adjacent results written by
+        // different workers would otherwise false-share a line and
+        // bounce it between cores for the whole batch.
+        struct alignas(64) Slot
+        {
+            std::optional<R> value;
+            std::exception_ptr error;
+        };
+        std::vector<Slot> slots(count);
 
         auto run_one = [&](std::size_t i) {
             try {
-                slots[i].emplace(fn(i));
+                slots[i].value.emplace(fn(i));
             } catch (...) {
-                errors[i] = std::current_exception();
+                slots[i].error = std::current_exception();
             }
         };
 
@@ -104,14 +111,14 @@ class ParallelRunner
         }
 
         for (std::size_t i = 0; i < count; ++i) {
-            if (errors[i])
-                std::rethrow_exception(errors[i]);
+            if (slots[i].error)
+                std::rethrow_exception(slots[i].error);
         }
 
         std::vector<R> out;
         out.reserve(count);
         for (auto &slot : slots)
-            out.push_back(std::move(*slot));
+            out.push_back(std::move(*slot.value));
         return out;
     }
 

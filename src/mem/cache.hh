@@ -87,6 +87,24 @@ class Cache
         base[0] = line;
     }
 
+    /**
+     * Pure probe: true iff `addr` sits in the MRU way of its set — the
+     * case where access() would hit without any LRU shuffle. Commits
+     * nothing; pair with creditMruHit() once the overall fast path is
+     * known to apply (see CacheHierarchy::tryFastAccess).
+     */
+    bool
+    peekMru(sim::Addr addr) const
+    {
+        const std::uint64_t line = lineOf(addr);
+        return lines_[static_cast<std::size_t>(setOf(line)) *
+                      geometry_.ways] == line;
+    }
+
+    /** Commit the hit a successful peekMru() promised: identical
+     *  state transition to access() hitting the MRU way. */
+    void creditMruHit() { ++hits_; }
+
     /** Probe without changing replacement state (tests/inspection). */
     bool contains(sim::Addr addr) const;
 

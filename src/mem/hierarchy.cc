@@ -17,6 +17,8 @@ CacheHierarchy::CacheHierarchy(unsigned num_cores,
         dtlb_.push_back(std::make_unique<Tlb>(config.dtlb));
     }
     llc_ = std::make_unique<Cache>("llc", config.llc);
+    for (unsigned i = 0; i < num_cores; ++i)
+        hot_.push_back({dtlb_[i].get(), l1d_[i].get()});
 }
 
 Cache &

@@ -59,6 +59,31 @@ class CacheHierarchy : public sim::MemoryIf
     sim::Tick access(sim::CoreId core, sim::Addr addr, bool write,
                      bool atomic, sim::EventDeltas &deltas) override;
 
+    /**
+     * All-hit fast path: same-page DTLB repeat plus MRU-way L1D hit,
+     * the overwhelmingly common case for streaming access patterns.
+     * Probes are pure until both are known to hit, then the hit
+     * counters / TLB recency are credited exactly as access() would —
+     * so hit/miss statistics and replacement state stay bit-identical
+     * whichever path an access takes.
+     * @return l1Latency on a fast hit, 0 to make the caller fall back
+     *         to access() (also declines on out-of-range core ids so
+     *         access() can raise the proper panic).
+     */
+    sim::Tick
+    tryFastAccess(sim::CoreId core, sim::Addr addr, bool write) override
+    {
+        (void)write;
+        if (core >= hot_.size())
+            return 0;
+        const HotPath &h = hot_[core];
+        if (!h.tlb->peekLastPage(addr) || !h.l1->peekMru(addr))
+            return 0;
+        h.tlb->creditLastPageHit();
+        h.l1->creditMruHit();
+        return config_.l1Latency;
+    }
+
     const HierarchyConfig &config() const { return config_; }
     Cache &l1d(sim::CoreId core);
     Cache &l2(sim::CoreId core);
@@ -72,7 +97,16 @@ class CacheHierarchy : public sim::MemoryIf
     std::uint64_t prefetchesIssued() const { return prefetches_; }
 
   private:
+    /** Raw per-core pointers for the fast path: one indexed load
+     *  instead of two unique_ptr dereference chains per probe. */
+    struct HotPath
+    {
+        Tlb *tlb;
+        Cache *l1;
+    };
+
     HierarchyConfig config_;
+    std::vector<HotPath> hot_;
     std::vector<std::unique_ptr<Cache>> l1d_;
     std::vector<std::unique_ptr<Cache>> l2_;
     std::unique_ptr<Cache> llc_;

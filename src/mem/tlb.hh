@@ -60,6 +60,27 @@ class Tlb
         return true;
     }
 
+    /**
+     * Pure probe: true iff `addr` is a same-page repeat that access()
+     * would hit via the most-recent-page filter. Commits nothing;
+     * pair with creditLastPageHit() once the overall fast path is
+     * known to apply (see CacheHierarchy::tryFastAccess).
+     */
+    bool
+    peekLastPage(sim::Addr addr) const
+    {
+        return pageOf(addr) == lastPage_;
+    }
+
+    /** Commit the hit a successful peekLastPage() promised: identical
+     *  state transition to access()'s most-recent-page branch. */
+    void
+    creditLastPageHit()
+    {
+        slots_[lastSlot_].stamp = ++clock_;
+        ++hits_;
+    }
+
     /** Install the page containing `addr`, evicting LRU if needed. */
     void fill(sim::Addr addr);
 

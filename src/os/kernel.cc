@@ -391,6 +391,15 @@ Kernel::deliverSpuriousWake(Thread &t, sim::Tick at)
     wakeThread(t, at, 0);
 }
 
+/*
+ * Contract with the batched run loop: every poll() re-arms the hint
+ * before returning, and the hint is never later than the earliest
+ * sleeper/spurious-wake deadline. Cpu::runUntil treats the hint as a
+ * batch ceiling, so an accurate hint is what lets a lone busy core
+ * run thousands of ops per scheduler round (maxTick when both heaps
+ * are empty); a conservative hint only costs an early no-op poll,
+ * never a missed wake.
+ */
 void
 Kernel::armPollHint()
 {

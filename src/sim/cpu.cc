@@ -52,6 +52,127 @@ Cpu::step()
     executeOp(ctx);
 }
 
+Cpu::BatchResult
+Cpu::runUntil(Tick bound, Tick poll_at, Tick hard_limit,
+              unsigned max_ops)
+{
+    BatchResult r;
+    batchBound_ = bound;
+    batchPollAt_ = poll_at;
+    batchHardLimit_ = hard_limit;
+    batchOpsLeft_ = max_ops;
+    while (current_) {
+        panic_if(now_ > hard_limit,
+                 "runaway simulation: core ", id_,
+                 " passed the hard limit at tick ", now_);
+        GuestContext &ctx = *current_;
+        ctx.hasOp = false;
+        ctx.opConsumedInline = false;
+        // Let the guest's co_await points feed core-local ops straight
+        // into tryInlineOp while the budget lasts; the resume comes
+        // back only for an op that needs a scheduler round (published
+        // in ctx.op), a deferred epilogue, an ended batch, or exit.
+        ctx.inlineCpu = this;
+        ctx.resumeHandle().resume();
+        ctx.inlineCpu = nullptr;
+
+        if (!ctx.hasOp) {
+            if (ctx.finished()) {
+                if (batchOpsLeft_ > 0)
+                    --batchOpsLeft_; // the exiting resume was a round
+                machine_.kernel()->threadExited(*this, ctx);
+                drainOverflows();
+                r.interacted = true;
+                break;
+            }
+            panic_if(!ctx.opConsumedInline,
+                     "guest thread '", ctx.name(),
+                     "' suspended without issuing an op");
+            ctx.opConsumedInline = false;
+            if (epiloguePending_) {
+                // tryInlineOp's last op queued a PMI or crossed the
+                // quantum; replay executeOp's epilogue now that the
+                // coroutine is suspended (it may context-switch).
+                epiloguePending_ = false;
+                kernelRound_ = false;
+                drainOverflows();
+                if (current_ && now_ >= quantumEnd) {
+                    kernelRound_ = true;
+                    machine_.kernel()->timerTick(*this);
+                    drainOverflows();
+                }
+                r.interacted = kernelRound_;
+            }
+            break; // horizon / poll deadline / budget reached
+        }
+
+        --batchOpsLeft_;
+        const bool local = opIsCoreLocal(ctx.op.kind);
+        kernelRound_ = false;
+        executeOp(ctx);
+        if (kernelRound_) {
+            // Timer tick, PMI, or syscall re-entered the kernel: the
+            // schedule (busy set, other cores' clocks, poll hint) may
+            // have changed under us.
+            r.interacted = true;
+            break;
+        }
+        if (!local)
+            break; // conservative: published cross-core-visible state
+        // The next op may only run here if this core would still win
+        // the global earliest-core pick and no poll is due.
+        if (now_ >= bound || now_ >= poll_at || batchOpsLeft_ == 0)
+            break;
+    }
+    r.ops = max_ops - batchOpsLeft_;
+    batchOpsLeft_ = 0;
+    return r;
+}
+
+bool
+Cpu::tryInlineOp(GuestContext &ctx)
+{
+    // Pre-checks mirror runUntil's continue conditions: refusing sends
+    // the op down the suspend path, where runUntil either executes it
+    // as a classic round or ends the batch.
+    if (batchOpsLeft_ == 0 || now_ >= batchBound_ || now_ >= batchPollAt_)
+        return false;
+    panic_if(now_ > batchHardLimit_,
+             "runaway simulation: core ", id_,
+             " passed the hard limit at tick ", now_);
+
+    const PendingOp &op = ctx.op;
+    switch (op.kind) {
+      case OpKind::Compute:
+        execCompute(ctx, op);
+        break;
+      case OpKind::Load:
+      case OpKind::Store:
+        execMemory(ctx, op);
+        break;
+      case OpKind::RegionEnter:
+      case OpKind::RegionExit:
+        execRegion(ctx, op);
+        break;
+      default:
+        return false; // cross-core-visible: scheduler round
+    }
+    --batchOpsLeft_;
+
+    if (!pendingPmis_.empty() || now_ >= quantumEnd) {
+        // The drain/timer epilogue can switch threads, which is only
+        // safe with this coroutine suspended; hand back to runUntil.
+        epiloguePending_ = true;
+        ctx.opConsumedInline = true;
+        return false;
+    }
+    if (now_ >= batchBound_ || now_ >= batchPollAt_ || batchOpsLeft_ == 0) {
+        ctx.opConsumedInline = true;
+        return false;
+    }
+    return true;
+}
+
 void
 Cpu::executeOp(GuestContext &ctx)
 {
@@ -93,6 +214,7 @@ Cpu::executeOp(GuestContext &ctx)
 
     drainOverflows();
     if (current_ && now_ >= quantumEnd) {
+        kernelRound_ = true;
         machine_.kernel()->timerTick(*this);
         drainOverflows();
     }
@@ -135,12 +257,11 @@ Cpu::execCompute(GuestContext &ctx, const PendingOp &op)
               std::ceil(static_cast<double>(instrs) * p.cpi));
     const Tick duration = base + misses * costs_.mispredictPenalty;
 
-    EventDeltas d;
-    d[EventType::Cycles] = duration;
-    d[EventType::Instructions] = instrs;
-    d[EventType::Branches] = branches;
-    d[EventType::BranchMisses] = misses;
-    applyEvents(PrivMode::User, d);
+    const SparseDelta d[4] = {{EventType::Cycles, duration},
+                              {EventType::Instructions, instrs},
+                              {EventType::Branches, branches},
+                              {EventType::BranchMisses, misses}};
+    applyFewEvents(PrivMode::User, d);
     now_ += duration;
     ctx.result = 0;
 }
@@ -149,9 +270,23 @@ void
 Cpu::execMemory(GuestContext &ctx, const PendingOp &op)
 {
     const bool write = op.kind == OpKind::Store;
+    MemoryIf *mem = machine_.memory();
+
+    // All-hit accesses (the common case on streaming patterns) carry
+    // exactly three events; skip the dense-deltas machinery for them.
+    if (const Tick fast = mem->tryFastAccess(id_, op.addr, write)) {
+        const SparseDelta d[3] = {
+            {EventType::Cycles, fast},
+            {EventType::Instructions, 1},
+            {write ? EventType::Stores : EventType::Loads, 1}};
+        applyFewEvents(PrivMode::User, d);
+        now_ += fast;
+        ctx.result = 0;
+        return;
+    }
+
     EventDeltas d;
-    const Tick latency =
-        machine_.memory()->access(id_, op.addr, write, false, d);
+    const Tick latency = mem->access(id_, op.addr, write, false, d);
 
     d[EventType::Cycles] += latency;
     d[EventType::Instructions] += 1;
@@ -246,6 +381,7 @@ Cpu::execSyscall(GuestContext &ctx, const PendingOp &op)
 {
     const std::uint32_t nr = op.sysNr;
     const std::array<std::uint64_t, 4> args = op.sysArgs;
+    kernelRound_ = true;
 
     // The syscall instruction itself.
     EventDeltas d;
@@ -310,6 +446,7 @@ Cpu::drainOverflowsSlow()
     if (draining_)
         return; // the outer drain loop will pick up new PMIs
     draining_ = true;
+    kernelRound_ = true;
     unsigned guard = 0;
     // Index scan instead of front-pop: a fault controller may hold a
     // PMI back (notBefore in the future) while later ones deliver, and
@@ -324,8 +461,7 @@ Cpu::drainOverflowsSlow()
                     f->onPmiDeliver(*this, pending.counter,
                                     pending.wraps);
                 if (act.drop) {
-                    pendingPmis_.erase(pendingPmis_.begin() +
-                                       static_cast<std::ptrdiff_t>(i));
+                    pendingPmis_.erase(i);
                     continue;
                 }
                 if (act.delay > 0)
@@ -340,8 +476,7 @@ Cpu::drainOverflowsSlow()
                  "PMI storm: overflow handler keeps re-overflowing "
                  "(counter width too small for the handler cost?)");
         const PendingPmi pmi = pending;
-        pendingPmis_.erase(pendingPmis_.begin() +
-                           static_cast<std::ptrdiff_t>(i));
+        pendingPmis_.erase(i);
         LIMIT_TRACE(machine_.tracer(), id_,
                     trace::TraceEvent::CounterOverflow, now_,
                     current_ ? current_->tid() : invalidThread,

@@ -6,6 +6,8 @@
 #ifndef LIMIT_SIM_CPU_HH
 #define LIMIT_SIM_CPU_HH
 
+#include <array>
+#include <cstddef>
 #include <vector>
 
 #include "sim/cost_model.hh"
@@ -60,6 +62,51 @@ class Cpu
     /** Resume the current thread and execute one op. */
     void step();
 
+    /** Outcome of one runUntil() batch. */
+    struct BatchResult
+    {
+        /** Ops executed (including the one that ended the batch). */
+        unsigned ops = 0;
+        /**
+         * The batch ended on a kernel interaction (syscall, timer
+         * tick, PMI delivery, thread exit) that may have changed
+         * another core's clock or the set of busy cores; the caller
+         * must re-derive its earliest-core ordering from scratch.
+         * When false, only this core's clock advanced.
+         */
+        bool interacted = false;
+    };
+
+    /**
+     * Horizon-batched execution: run consecutive ops of the current
+     * thread while the core's clock stays strictly below `bound` and
+     * below `poll_at`, up to `max_ops` ops. The first op always
+     * executes (the caller has established this core is the global
+     * earliest); the batch ends early after any op that is not
+     * core-local (see sim::opIsCoreLocal) or that re-entered the
+     * kernel (PMI delivery, quantum expiry, thread exit). Executes
+     * the exact per-op sequence Machine's reference scheduler would:
+     * `bound` must be chosen so this core would win the global
+     * earliest-core pick for every tick below it.
+     */
+    BatchResult runUntil(Tick bound, Tick poll_at, Tick hard_limit,
+                         unsigned max_ops);
+
+    /**
+     * OpAwaiter hook (horizon-batched mode only): execute `ctx.op`
+     * right at the co_await point — without suspending the guest
+     * coroutine — when it is core-local and the batch budget set up by
+     * runUntil allows another op. Returns true when the op executed
+     * AND the guest may keep running; false when the guest must take
+     * the suspend path (op not executed — classic scheduler round — or
+     * executed with `ctx.opConsumedInline` set because the batch is
+     * over). Ops that queue a PMI or cross the quantum end are
+     * consumed but never continued: their drain/timer epilogue can
+     * context-switch, so runUntil replays it once the coroutine is
+     * safely suspended.
+     */
+    bool tryInlineOp(GuestContext &ctx);
+
     /**
      * Charge `cycles` of kernel-mode work to the current thread (or to
      * nobody when idle), applying PMU/ledger events and advancing time.
@@ -78,6 +125,47 @@ class Cpu
             current_->ledger().apply(mode, deltas);
         WrapEvent ev[maxPmuCounters];
         const unsigned wrapped = pmu_.applyFast(mode, deltas, ev);
+        for (unsigned k = 0; k < wrapped; ++k) {
+            if (pmu_.config(ev[k].counter).interruptOnOverflow)
+                pendingPmis_.push_back({ev[k].counter, ev[k].wraps});
+        }
+    }
+
+    /** One (event, count) pair for the sparse apply path. */
+    struct SparseDelta
+    {
+        EventType event;
+        std::uint64_t count;
+    };
+
+    /**
+     * applyEvents for ops whose deltas are a handful of known events
+     * (an all-hit load, a compute block): identical counting and PMI
+     * behaviour, but N scattered adds instead of zero-initializing
+     * and applying the dense 11-event array. Inline: this is the
+     * hottest few instructions in the simulator.
+     */
+    template <unsigned N>
+    void
+    applyFewEvents(PrivMode mode, const SparseDelta (&d)[N])
+    {
+        if (current_) {
+            auto &ledger = current_->ledger();
+            for (unsigned i = 0; i < N; ++i)
+                ledger.add(mode, d[i].event, d[i].count);
+        }
+        WrapEvent ev[maxPmuCounters];
+        const unsigned wrapped = pmu_.applyActive(
+            mode,
+            [&](unsigned e) {
+                std::uint64_t n = 0;
+                for (unsigned i = 0; i < N; ++i) {
+                    if (static_cast<unsigned>(d[i].event) == e)
+                        n += d[i].count;
+                }
+                return n;
+            },
+            ev);
         for (unsigned k = 0; k < wrapped; ++k) {
             if (pmu_.config(ev[k].counter).interruptOnOverflow)
                 pendingPmis_.push_back({ev[k].counter, ev[k].wraps});
@@ -113,15 +201,91 @@ class Cpu
         Tick notBefore = 0;
     };
 
+    /**
+     * Pending-PMI queue with inline storage. One op can wrap at most
+     * maxPmuCounters counters, and the queue drains at every op
+     * boundary, so the only way past the inline capacity is a fault
+     * plan holding deliveries back (notBefore in the future) across
+     * many ops — entries then spill to a heap vector. The common
+     * PMI path therefore never touches the allocator.
+     */
+    class PmiQueue
+    {
+      public:
+        bool empty() const { return inlineCount_ == 0; }
+
+        std::size_t
+        size() const
+        {
+            return inlineCount_ + spill_.size();
+        }
+
+        PendingPmi &
+        operator[](std::size_t i)
+        {
+            return i < inlineCount_ ? inline_[i]
+                                    : spill_[i - inlineCount_];
+        }
+
+        void
+        push_back(const PendingPmi &p)
+        {
+            if (inlineCount_ < inline_.size())
+                inline_[inlineCount_++] = p;
+            else
+                spill_.push_back(p);
+        }
+
+        void
+        erase(std::size_t i)
+        {
+            if (i < inlineCount_) {
+                for (std::size_t j = i; j + 1 < inlineCount_; ++j)
+                    inline_[j] = inline_[j + 1];
+                if (!spill_.empty()) {
+                    inline_[inlineCount_ - 1] = spill_.front();
+                    spill_.erase(spill_.begin());
+                } else {
+                    --inlineCount_;
+                }
+            } else {
+                spill_.erase(spill_.begin() +
+                             static_cast<std::ptrdiff_t>(i -
+                                                         inlineCount_));
+            }
+        }
+
+      private:
+        std::array<PendingPmi, 2 * maxPmuCounters> inline_{};
+        std::size_t inlineCount_ = 0;
+        std::vector<PendingPmi> spill_;
+    };
+
     CoreId id_;
     Machine &machine_;
     CostModel costs_;
     Pmu pmu_;
     Tick now_ = 0;
     GuestContext *current_ = nullptr;
-    std::vector<PendingPmi> pendingPmis_;
+    PmiQueue pendingPmis_;
     double kernelInstrResidue_ = 0.0;
     bool draining_ = false;
+    /**
+     * Set by any path that re-enters the kernel mid-op (timer tick,
+     * PMI delivery, syscall): tells runUntil the global schedule may
+     * have changed and the batch must end. Cleared per op by
+     * runUntil; meaningless (and harmless) in per-op mode.
+     */
+    bool kernelRound_ = false;
+
+    /** @name runUntil batch budget (consumed by tryInlineOp) @{ */
+    Tick batchBound_ = 0;
+    Tick batchPollAt_ = 0;
+    Tick batchHardLimit_ = 0;
+    unsigned batchOpsLeft_ = 0;
+    /** A PMI drain / timer tick was deferred to scheduler context. */
+    bool epiloguePending_ = false;
+    /** @} */
 };
 
 } // namespace limit::sim

@@ -25,6 +25,12 @@ GuestContext::start(std::function<Task<void>(Guest &)> body)
 }
 
 bool
+OpAwaiter::inlineExec() const noexcept
+{
+    return ctx_->inlineCpu->tryInlineOp(*ctx_);
+}
+
+bool
 Guest::shouldStop() const
 {
     return ctx_->machine().stopRequested(now());

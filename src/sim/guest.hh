@@ -28,6 +28,7 @@
 
 namespace limit::sim {
 
+class Cpu;
 class Machine;
 class Guest;
 
@@ -47,6 +48,35 @@ enum class OpKind : std::uint8_t {
     RegionEnter,    ///< push attribution region `region`
     RegionExit,     ///< pop attribution region
 };
+
+/**
+ * True for ops whose execution touches only core-local state (the
+ * issuing core's clock, PMU, and thread ledger — plus memory-model
+ * state that is only ever mutated in global time order anyway).
+ *
+ * The horizon-batched run loop (Machine::run) keeps executing
+ * consecutive core-local ops on the earliest core without returning
+ * to the global scheduler; any op that can re-enter the kernel or
+ * publish a value other threads may consume next (atomics release
+ * locks, syscalls wake threads, PMC reads can deliver PMIs) ends the
+ * batch so the scheduler can re-derive the global earliest core.
+ * This is a conservative classification: batching never changes the
+ * serialized op order, only how cheaply it is produced.
+ */
+constexpr bool
+opIsCoreLocal(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Compute:
+      case OpKind::Load:
+      case OpKind::Store:
+      case OpKind::RegionEnter:
+      case OpKind::RegionExit:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** One suspended guest operation awaiting execution. */
 struct PendingOp
@@ -120,6 +150,19 @@ class GuestContext
     PendingOp op{};
     std::uint64_t result = 0;
     std::coroutine_handle<> resumePoint = nullptr;
+    /**
+     * Non-null only while Cpu::runUntil is resuming this thread: lets
+     * OpAwaiter hand core-local ops straight to Cpu::tryInlineOp
+     * without suspending (see DESIGN.md "Safe-horizon batching"). In
+     * per-op mode this stays null and every op takes the suspend path.
+     */
+    Cpu *inlineCpu = nullptr;
+    /**
+     * The op was executed by tryInlineOp but the batch must end (PMI
+     * or quantum epilogue pending, budget/horizon reached), so the
+     * guest suspended anyway — without re-publishing the op in hasOp.
+     */
+    bool opConsumedInline = false;
     std::vector<RegionId> regionStack;
     /** Region before the most recent region-stack change (for skid). */
     RegionId prevRegion = noRegion;
@@ -176,18 +219,34 @@ class [[nodiscard]] OpAwaiter
   public:
     explicit OpAwaiter(GuestContext &ctx) : ctx_(&ctx) {}
 
-    bool await_ready() const noexcept { return false; }
+    /**
+     * Fast path for horizon-batched execution: while Cpu::runUntil is
+     * resuming this thread, core-local ops within the batch budget are
+     * executed right here and the coroutine never suspends. Everything
+     * else (per-op mode, cross-core-visible ops, exhausted horizon)
+     * falls through to the suspend path below.
+     */
+    bool
+    await_ready() const noexcept
+    {
+        return ctx_->inlineCpu != nullptr && inlineExec();
+    }
 
     void
     await_suspend(std::coroutine_handle<> h) noexcept
     {
-        ctx_->hasOp = true;
+        // When tryInlineOp already executed the op but ended the
+        // batch (opConsumedInline), suspend without re-publishing it.
+        ctx_->hasOp = !ctx_->opConsumedInline;
         ctx_->resumePoint = h;
     }
 
     std::uint64_t await_resume() const noexcept { return ctx_->result; }
 
   private:
+    /** Out of line: forwards to Cpu::tryInlineOp. */
+    bool inlineExec() const noexcept;
+
     GuestContext *ctx_;
 };
 

@@ -28,6 +28,15 @@ class EventLedger
         perMode_[static_cast<unsigned>(mode)] += d;
     }
 
+    /** Apply a single event's delta (sparse hot paths: an op that
+     *  produces three known events pays three adds instead of a dense
+     *  11-wide array add). */
+    void
+    add(PrivMode mode, EventType e, std::uint64_t n)
+    {
+        perMode_[static_cast<unsigned>(mode)][e] += n;
+    }
+
     /** Exact count of event e in mode m. */
     std::uint64_t
     count(EventType e, PrivMode m) const

@@ -1,9 +1,44 @@
 #include "sim/machine.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "base/logging.hh"
 #include "sim/kernel_if.hh"
 
 namespace limit::sim {
+
+namespace {
+
+/** Cap on ops per batch; any positive value is bit-identical. */
+constexpr unsigned batchMaxOps = 4096;
+
+bool
+forcedNoBatch()
+{
+    static const bool forced = [] {
+        const char *v = std::getenv("LIMITPP_FORCE_NO_BATCH");
+        return v != nullptr && v[0] != '\0' &&
+               !(v[0] == '0' && v[1] == '\0');
+    }();
+    return forced;
+}
+
+bool batchedDefault = true;
+
+} // namespace
+
+void
+setBatchedExecutionDefault(bool batched)
+{
+    batchedDefault = batched;
+}
+
+bool
+batchedExecutionDefault()
+{
+    return batchedDefault && !forcedNoBatch();
+}
 
 Machine::Machine(const MachineConfig &config)
     : config_(config), memory_(&flatMemory_)
@@ -43,6 +78,19 @@ Tick
 Machine::run()
 {
     panic_if(!kernel_, "Machine::run without a kernel");
+    if (config_.batched && batchedExecutionDefault())
+        return runBatched();
+    return runPerOp();
+}
+
+/**
+ * Reference scheduler: one op per global round. Kept verbatim as the
+ * bit-identity oracle for runBatched() (--no-batch, the no-batch CI
+ * job, and tests/test_batch.cc).
+ */
+Tick
+Machine::runPerOp()
+{
     auto earliest_busy = [this]() -> Cpu * {
         Cpu *best = nullptr;
         for (auto &cpu : cpus_) {
@@ -79,6 +127,98 @@ Machine::run()
                  "runaway simulation: core ", best->id(),
                  " passed the hard limit at tick ", best->now());
         best->step();
+        ++batchRounds_;
+        ++batchOps_;
+    }
+    return maxTime();
+}
+
+/**
+ * Horizon-batched scheduler. Executes the exact op sequence of
+ * runPerOp(): the earliest busy core (ties broken by lowest id, as the
+ * strict `<` scan does) would keep winning the per-op pick for every
+ * tick strictly below the second-earliest core's key, so it may run
+ * that far in one tight Cpu::runUntil loop, breaking out on anything
+ * that could perturb the global schedule (kernel entry, cross-core-
+ * visible ops, a due poll). Busy cores sit in a binary min-heap keyed
+ * by (now, id); a batch that stayed core-local only grows the root's
+ * key (sift down), while any kernel interaction rebuilds the heap.
+ */
+Tick
+Machine::runBatched()
+{
+    // (now, id)-lexicographic order; strict-weak, heap comparator is
+    // the inverse (std::*_heap build max-heaps).
+    auto after = [](const Cpu *a, const Cpu *b) {
+        return a->now() != b->now() ? a->now() > b->now()
+                                    : a->id() > b->id();
+    };
+    std::vector<Cpu *> heap;
+    heap.reserve(cpus_.size());
+    auto rebuild = [&] {
+        heap.clear();
+        for (auto &cpu : cpus_) {
+            if (!cpu->idle())
+                heap.push_back(cpu.get());
+        }
+        std::make_heap(heap.begin(), heap.end(), after);
+    };
+    rebuild();
+
+    for (;;) {
+        Cpu *best = heap.empty() ? nullptr : heap.front();
+        // Poll timing matches runPerOp: global time is the earliest
+        // busy core's clock (maxTick when all cores idle), the hint is
+        // cleared before the call, and a wake can change the earliest
+        // core, so the ordering is re-derived only on poll() == true.
+        const Tick now = best ? best->now() : maxTick;
+        if (now >= nextPollAt_) {
+            nextPollAt_ = 0; // conservative unless the kernel re-arms
+            if (kernel_->poll(now)) {
+                rebuild();
+                best = heap.empty() ? nullptr : heap.front();
+            }
+        }
+        if (!best) {
+            if (!kernel_->allThreadsDone()) {
+                panic("deadlock: live threads but no runnable core\n",
+                      kernel_->blockedReport());
+            }
+            break;
+        }
+
+        // Safe horizon: `best` stays the per-op winner while
+        // (now, id) < (second.now, second.id), i.e. for all ticks
+        // strictly below second.now (+1 when best wins the id tie).
+        // The root's children heap[1]/heap[2] are the only candidates
+        // for the second-earliest key.
+        Tick bound = maxTick;
+        if (heap.size() > 1) {
+            const Cpu *second = heap[1];
+            if (heap.size() > 2 && after(second, heap[2]))
+                second = heap[2];
+            bound = second->now();
+            if (best->id() < second->id() && bound != maxTick)
+                ++bound;
+        }
+
+        // Pass the poll hint verbatim: 0 ("poll every round") makes
+        // runUntil stop after its unconditional first op, exactly the
+        // conservative per-op cadence.
+        const Cpu::BatchResult res = best->runUntil(
+            bound, nextPollAt_, config_.hardLimit, batchMaxOps);
+        ++batchRounds_;
+        batchOps_ += res.ops;
+
+        if (res.interacted || best->idle()) {
+            // Kernel touched the schedule (wakes, switches, exits,
+            // poll re-arm): start the ordering over.
+            rebuild();
+        } else {
+            // Only the root's clock advanced; restore the heap.
+            std::pop_heap(heap.begin(), heap.end(), after);
+            std::push_heap(heap.begin(), heap.end(), after);
+        }
     }
     return maxTime();
 }

@@ -6,6 +6,7 @@
 #ifndef LIMIT_SIM_MACHINE_HH
 #define LIMIT_SIM_MACHINE_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -41,7 +42,23 @@ struct MachineConfig
      * runaway simulation (guests ignoring the stop request).
      */
     Tick hardLimit = maxTick;
+    /**
+     * Horizon-batched execution (bit-identical to the per-op reference
+     * scheduler; see DESIGN.md "Safe-horizon batching"). Effective only
+     * while the process-wide default is also on: --no-batch and the
+     * LIMITPP_FORCE_NO_BATCH environment variable force the per-op
+     * loop everywhere regardless of this field.
+     */
+    bool batched = true;
 };
+
+/**
+ * Process-wide master switch for horizon-batched execution, consulted
+ * by every Machine::run. Cleared by --no-batch (analysis::parseBenchArgs)
+ * and by setting LIMITPP_FORCE_NO_BATCH in the environment.
+ */
+void setBatchedExecutionDefault(bool batched);
+bool batchedExecutionDefault();
 
 /**
  * Deterministic multi-core machine.
@@ -119,7 +136,15 @@ class Machine
     /** Largest core-local clock. */
     Tick maxTime() const;
 
+    /** Scheduler rounds taken by run() (batches in batched mode). */
+    std::uint64_t batchRounds() const { return batchRounds_; }
+    /** Guest ops executed across all rounds. */
+    std::uint64_t batchOps() const { return batchOps_; }
+
   private:
+    Tick runPerOp();
+    Tick runBatched();
+
     MachineConfig config_;
     std::vector<std::unique_ptr<Cpu>> cpus_;
     FlatMemory flatMemory_;
@@ -130,6 +155,8 @@ class Machine
     RegionTable regions_;
     Tick stopAt_ = 0;
     Tick nextPollAt_ = 0;
+    std::uint64_t batchRounds_ = 0;
+    std::uint64_t batchOps_ = 0;
 };
 
 } // namespace limit::sim

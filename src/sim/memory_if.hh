@@ -36,6 +36,25 @@ class MemoryIf
     virtual Tick access(CoreId core, Addr addr, bool write, bool atomic,
                         EventDeltas &deltas) = 0;
 
+    /**
+     * Optional hot-path probe for a plain (non-atomic) access the
+     * implementation can complete without producing any event deltas
+     * — e.g. a same-line L1 + same-page TLB hit. Must be *exactly*
+     * equivalent to access(): same latency, same internal state
+     * transitions (hit counters, recency), no observable difference.
+     * @return the access latency, or 0 to decline — the caller then
+     *         takes the full access() path (an implementation whose
+     *         genuine hit latency is 0 simply never fast-paths).
+     */
+    virtual Tick
+    tryFastAccess(CoreId core, Addr addr, bool write)
+    {
+        (void)core;
+        (void)addr;
+        (void)write;
+        return 0;
+    }
+
     /** Convenience form returning a fresh result (tests, inspection). */
     MemAccessResult
     access(CoreId core, Addr addr, bool write, bool atomic)
@@ -58,6 +77,13 @@ class FlatMemory : public MemoryIf
     access(CoreId, Addr, bool, bool atomic, EventDeltas &) override
     {
         return latency_ + (atomic ? atomicExtra_ : 0);
+    }
+
+    /** Every plain access is a fixed-latency "hit" with no deltas. */
+    Tick
+    tryFastAccess(CoreId, Addr, bool) override
+    {
+        return latency_;
     }
 
   private:

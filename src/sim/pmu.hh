@@ -108,13 +108,17 @@ class Pmu
      * Hot-path apply: identical counting semantics to apply(), but
      * iterates only the counters active in `mode` (precomputed when
      * counters are (re)programmed) and reports wraps into `out`
-     * without zero-initializing anything. Defined inline: it runs
-     * once per guest op.
+     * without zero-initializing anything. `delta_of(event_index)`
+     * supplies the per-event delta, so callers with a known-sparse op
+     * (a cache-hit load is exactly {Cycles, Instructions, Loads}) can
+     * skip materializing the dense EventDeltas array. Defined inline:
+     * it runs once per guest op.
      * @return number of entries written to `out`.
      */
+    template <typename DeltaOf>
     unsigned
-    applyFast(PrivMode mode, const EventDeltas &deltas,
-              WrapEvent (&out)[maxPmuCounters])
+    applyActive(PrivMode mode, DeltaOf delta_of,
+                WrapEvent (&out)[maxPmuCounters])
     {
         const unsigned m = static_cast<unsigned>(mode);
         const unsigned n = activeCount_[m];
@@ -128,7 +132,7 @@ class Pmu
             // unreachable in any feasible simulation; plain add.
             for (unsigned k = 0; k < n; ++k) {
                 const ActiveCounter ac = active_[m][k];
-                values_[ac.idx] += deltas.counts[ac.event];
+                values_[ac.idx] += delta_of(ac.event);
             }
             return 0;
         }
@@ -138,7 +142,7 @@ class Pmu
         const std::uint64_t mask = valueMask();
         for (unsigned k = 0; k < n; ++k) {
             const ActiveCounter ac = active_[m][k];
-            const std::uint64_t delta = deltas.counts[ac.event];
+            const std::uint64_t delta = delta_of(ac.event);
             if (delta == 0)
                 continue;
             const unsigned __int128 sum =
@@ -149,6 +153,15 @@ class Pmu
                 out[wrapped++] = {ac.idx, wraps};
         }
         return wrapped;
+    }
+
+    /** applyActive over a dense per-event delta array. */
+    unsigned
+    applyFast(PrivMode mode, const EventDeltas &deltas,
+              WrapEvent (&out)[maxPmuCounters])
+    {
+        return applyActive(
+            mode, [&](unsigned e) { return deltas.counts[e]; }, out);
     }
 
     /** Value mask for the configured width. */

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Horizon-batched scheduler equivalence tests.
+ *
+ * The batched run loop (Machine::runBatched + Cpu::runUntil + the
+ * inline-awaiter fast path) must be *bit-identical* to the per-op
+ * reference scheduler — same ledgers, same PMU finals, same PMI
+ * timing, same context-switch count, same trace record stream, same
+ * end tick. Each scenario here is shaped after one of the published
+ * experiments (overflow storms, futex-heavy sync, region-attributed
+ * phases, fault injection) and is run under both schedulers via
+ * BundleOptions::batched; the whole observable machine state is then
+ * compared field by field.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/bundle.hh"
+#include "fault/plan.hh"
+#include "os/sysno.hh"
+#include "pec/pec.hh"
+#include "sim/machine.hh"
+#include "sync/mutex.hh"
+#include "trace/trace.hh"
+
+namespace limit {
+namespace {
+
+using fault::FaultSpec;
+using fault::Plan;
+using fault::PlanController;
+using fault::Site;
+using sim::EventType;
+using sim::Guest;
+using sim::PrivMode;
+using sim::Task;
+
+/** Everything observable about a finished run. */
+struct Fingerprint
+{
+    sim::Tick end = 0;
+    std::uint64_t switches = 0;
+    /** thread-major, then mode-major, then event: exact ledgers. */
+    std::vector<std::uint64_t> ledgers;
+    /** core-major, then counter index: final PMU values. */
+    std::vector<std::uint64_t> pmuFinals;
+    std::vector<trace::TraceRecord> records;
+};
+
+Fingerprint
+collect(analysis::SimBundle &b, sim::Tick end)
+{
+    Fingerprint fp;
+    fp.end = end;
+    fp.switches = b.kernel().totalContextSwitches();
+    for (unsigned t = 0; t < b.kernel().numThreads(); ++t) {
+        const auto &ledger = b.kernel().thread(t).ctx.ledger();
+        for (unsigned m = 0; m < 2; ++m) {
+            for (unsigned e = 0; e < sim::numEventTypes; ++e) {
+                fp.ledgers.push_back(
+                    ledger.count(static_cast<EventType>(e),
+                                 static_cast<PrivMode>(m)));
+            }
+        }
+    }
+    for (unsigned c = 0; c < b.machine().numCores(); ++c) {
+        const auto &pmu = b.machine().cpu(c).pmu();
+        for (unsigned k = 0; k < pmu.numCounters(); ++k)
+            fp.pmuFinals.push_back(pmu.read(k));
+    }
+    if (b.tracer() != nullptr)
+        fp.records = b.tracer()->merged();
+    return fp;
+}
+
+void
+expectIdentical(const Fingerprint &batched, const Fingerprint &perop)
+{
+    EXPECT_EQ(batched.end, perop.end);
+    EXPECT_EQ(batched.switches, perop.switches);
+    EXPECT_EQ(batched.ledgers, perop.ledgers);
+    EXPECT_EQ(batched.pmuFinals, perop.pmuFinals);
+    ASSERT_EQ(batched.records.size(), perop.records.size());
+    for (std::size_t i = 0; i < batched.records.size(); ++i) {
+        const trace::TraceRecord &a = batched.records[i];
+        const trace::TraceRecord &b = perop.records[i];
+        EXPECT_EQ(a.tick, b.tick) << "record " << i;
+        EXPECT_EQ(a.a0, b.a0) << "record " << i;
+        EXPECT_EQ(a.a1, b.a1) << "record " << i;
+        EXPECT_EQ(a.tid, b.tid) << "record " << i;
+        EXPECT_EQ(a.core, b.core) << "record " << i;
+        EXPECT_EQ(static_cast<unsigned>(a.event),
+                  static_cast<unsigned>(b.event))
+            << "record " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overflow-storm shape: narrow counters, PMIs mid-batch, PEC reads
+// ---------------------------------------------------------------------
+
+Fingerprint
+runPmiStorm(bool batched)
+{
+    analysis::SimBundle b(analysis::BundleOptions::Builder()
+                              .cores(2)
+                              .quantum(20'000)
+                              .pmuWidth(18) // wraps every ~256K cycles
+                              .seed(11)
+                              .batched(batched)
+                              .build());
+    pec::PecSession session(b.kernel(),
+                            {.policy = pec::OverflowPolicy::DoubleCheck});
+    session.addEvent(0, EventType::Instructions, true, false);
+    session.addEvent(1, EventType::Cycles, true, true);
+
+    for (unsigned i = 0; i < 3; ++i) {
+        b.kernel().spawn(
+            "storm" + std::to_string(i),
+            [&session](Guest &g) -> Task<void> {
+                std::uint64_t sum = 0;
+                for (unsigned s = 0; s < 400; ++s) {
+                    co_await g.compute(50 + g.rng().below(40));
+                    const sim::Addr a =
+                        0x200000 + g.rng().below(1 << 14) * 8;
+                    co_await g.load(a);
+                    co_await g.store(a + 8);
+                    if (s % 16 == 0)
+                        sum += co_await g.pmcRead(0);
+                    if (s % 64 == 0)
+                        sum += co_await session.read(g, 0);
+                }
+                (void)sum;
+            });
+    }
+    const sim::Tick end = b.machine().run();
+    return collect(b, end);
+}
+
+TEST(BatchEquivalence, PmiStormBitIdentical)
+{
+    expectIdentical(runPmiStorm(true), runPmiStorm(false));
+}
+
+// ---------------------------------------------------------------------
+// Sync-study shape: contended locks, futex sleeps, atomics, yields
+// ---------------------------------------------------------------------
+
+Fingerprint
+runSyncFutex(bool batched)
+{
+    analysis::SimBundle b(analysis::BundleOptions::Builder()
+                              .cores(2)
+                              .quantum(10'000)
+                              .seed(23)
+                              .batched(batched)
+                              .build());
+
+    std::vector<std::unique_ptr<sync::Mutex>> locks;
+    for (int i = 0; i < 2; ++i)
+        locks.push_back(std::make_unique<sync::Mutex>(0x9000 + i * 64));
+    auto shared = std::make_unique<std::uint64_t>(0);
+
+    for (unsigned i = 0; i < 4; ++i) {
+        b.kernel().spawn(
+            "sync" + std::to_string(i),
+            [&locks, &shared](Guest &g) -> Task<void> {
+                for (unsigned s = 0; s < 150; ++s) {
+                    sync::Mutex &mu =
+                        *locks[g.rng().below(locks.size())];
+                    co_await mu.lock(g);
+                    co_await g.compute(1 + g.rng().below(200));
+                    co_await mu.unlock(g);
+                    co_await g.atomicFetchAdd(shared.get(), 0xa000, 1);
+                    if (s % 11 == 0) {
+                        co_await g.syscall(
+                            os::sysSleep,
+                            {1 + g.rng().below(5'000), 0, 0, 0});
+                    }
+                    if (s % 7 == 0)
+                        co_await g.syscall(os::sysYield);
+                }
+            });
+    }
+    const sim::Tick end = b.machine().run();
+    return collect(b, end);
+}
+
+TEST(BatchEquivalence, SyncFutexBitIdentical)
+{
+    expectIdentical(runSyncFutex(true), runSyncFutex(false));
+}
+
+// ---------------------------------------------------------------------
+// Attribution shape: region-bracketed phases with a live tracer
+// ---------------------------------------------------------------------
+
+Fingerprint
+runRegionsTrace(bool batched)
+{
+    analysis::SimBundle b(analysis::BundleOptions::Builder()
+                              .cores(2)
+                              .quantum(25'000)
+                              .seed(5)
+                              .traceCapacity(1 << 14)
+                              .batched(batched)
+                              .build());
+    const sim::RegionId hot = b.machine().regions().intern("hot");
+    const sim::RegionId cold = b.machine().regions().intern("cold");
+
+    for (unsigned i = 0; i < 3; ++i) {
+        b.kernel().spawn(
+            "region" + std::to_string(i),
+            [hot, cold](Guest &g) -> Task<void> {
+                for (unsigned s = 0; s < 200; ++s) {
+                    co_await g.regionEnter(hot);
+                    co_await g.compute(30);
+                    co_await g.load(0x300000 + s * 8);
+                    co_await g.regionExit();
+                    co_await g.regionEnter(cold);
+                    co_await g.store(0x400000 + s * 64);
+                    co_await g.regionExit();
+                    if (s % 13 == 0)
+                        co_await g.syscall(os::sysNop);
+                }
+            });
+    }
+    const sim::Tick end = b.machine().run();
+    return collect(b, end);
+}
+
+TEST(BatchEquivalence, RegionsAndTraceStreamBitIdentical)
+{
+    expectIdentical(runRegionsTrace(true), runRegionsTrace(false));
+}
+
+// ---------------------------------------------------------------------
+// Fault-plan shape: injected seams must fire at the same points
+// ---------------------------------------------------------------------
+
+Fingerprint
+runFaultPlan(bool batched)
+{
+    analysis::SimBundle b(analysis::BundleOptions::Builder()
+                              .cores(1)
+                              .quantum(50'000)
+                              .pmuWidth(20)
+                              .seed(7)
+                              .batched(batched)
+                              .build());
+    pec::PecSession session(b.kernel(),
+                            {.policy = pec::OverflowPolicy::DoubleCheck});
+    session.addEvent(0, EventType::Instructions, true, false);
+
+    b.kernel().spawn("victim", [&session](Guest &g) -> Task<void> {
+        std::uint64_t sum = 0;
+        for (unsigned s = 0; s < 40; ++s) {
+            co_await g.compute(2'000);
+            sum += co_await session.read(g, 0);
+        }
+        (void)sum;
+    });
+    b.kernel().spawn("competitor", [](Guest &g) -> Task<void> {
+        for (unsigned s = 0; s < 600; ++s)
+            co_await g.compute(40);
+    });
+
+    Plan plan;
+    FaultSpec p;
+    p.site = Site::PreemptRead;
+    p.step = 1;
+    plan.add(p);
+    PlanController ctl(b.machine(), plan);
+    b.machine().setFaults(&ctl);
+    const sim::Tick end = b.machine().run();
+    EXPECT_EQ(ctl.injected(), 1u);
+    return collect(b, end);
+}
+
+TEST(BatchEquivalence, FaultSeamsFireIdentically)
+{
+    expectIdentical(runFaultPlan(true), runFaultPlan(false));
+}
+
+// ---------------------------------------------------------------------
+// Batch accounting: the batched loop really batches
+// ---------------------------------------------------------------------
+
+TEST(BatchEquivalence, BatchedRunsAmortizeSchedulerRounds)
+{
+    if (!sim::batchedExecutionDefault()) {
+        // Under LIMITPP_FORCE_NO_BATCH (the no-batch CI job) every
+        // machine runs per-op, so there is no batching to measure —
+        // the equivalence tests above still run both paths' results.
+        GTEST_SKIP() << "batched execution force-disabled";
+    }
+    analysis::SimBundle batched(analysis::BundleOptions::Builder()
+                                    .cores(1)
+                                    .seed(3)
+                                    .batched(true)
+                                    .build());
+    batched.kernel().spawn("solo", [](Guest &g) -> Task<void> {
+        for (unsigned s = 0; s < 5'000; ++s)
+            co_await g.compute(10);
+    });
+    batched.machine().run();
+    // A lone compute-bound thread should execute many ops per
+    // scheduler round once the poll hint is parked far away.
+    EXPECT_GT(batched.machine().batchOps(),
+              batched.machine().batchRounds());
+
+    analysis::SimBundle perop(analysis::BundleOptions::Builder()
+                                  .cores(1)
+                                  .seed(3)
+                                  .batched(false)
+                                  .build());
+    perop.kernel().spawn("solo", [](Guest &g) -> Task<void> {
+        for (unsigned s = 0; s < 5'000; ++s)
+            co_await g.compute(10);
+    });
+    perop.machine().run();
+    // The reference loop is one op per round, by definition.
+    EXPECT_EQ(perop.machine().batchOps(), perop.machine().batchRounds());
+}
+
+} // namespace
+} // namespace limit
