@@ -14,8 +14,10 @@
  *     switches — the scheduling- and memory-heavy path.
  *
  * The stream scenario is also re-run on the per-op reference scheduler
- * (--no-batch equivalent) so the horizon-batching win is measured in
- * the same process, and on `--jobs` worker threads via the
+ * (--no-batch equivalent) and with the superblock replay cache off
+ * (--no-superblock equivalent) so the horizon-batching and superblock
+ * wins are measured in the same process, and on `--jobs` worker
+ * threads via the
  * ParallelRunner to measure experiment-level scaling (distinct
  * simulations in parallel, the way the bench suite fans out;
  * single-simulation execution stays serial by design).
@@ -70,17 +72,22 @@ struct Throughput
     double hostSec = 0;  // thread CPU seconds
     double rounds = 0;   // scheduler rounds (batches)
     double ops = 0;      // guest ops across all rounds
+    double sbReplayed = 0; // guest ops retired via superblock replay
+    double sbRecorded = 0; // replay-visible ops retired per-op
+                           // (detector-recorded + stall-bridged)
 };
 
 /** One-core compute kernel: the tight simulation hot path. */
 Throughput
-runStream(std::uint64_t seed, bool batched = true)
+runStream(std::uint64_t seed, bool batched = true,
+          bool superblocks = true)
 {
     const double t0 = threadCpuSec();
     analysis::SimBundle b(analysis::BundleOptions::builder()
                               .cores(1)
                               .seed(1 + seed)
                               .batched(batched)
+                              .superblocks(superblocks)
                               .build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Cycles, true, true);
@@ -96,6 +103,10 @@ runStream(std::uint64_t seed, bool batched = true)
         analysis::totalEvent(b.kernel(), sim::EventType::Cycles));
     out.rounds = static_cast<double>(b.machine().batchRounds());
     out.ops = static_cast<double>(b.machine().batchOps());
+    const sim::SuperblockStats &sb = b.machine().superblockStats();
+    out.sbReplayed = static_cast<double>(sb.opsReplayed);
+    out.sbRecorded =
+        static_cast<double>(sb.opsRecorded + sb.stallBridges);
     return out;
 }
 
@@ -197,6 +208,13 @@ main(int argc, char **argv)
     const Throughput nobatch = best(args.seeds, [](unsigned i) {
         return runStream(i, /*batched=*/false);
     });
+    // Batched but with the superblock replay cache off: the spread
+    // between this row and the hot-path row is the superblock win on
+    // top of batching. (Under --no-superblock both run cache-off and
+    // the speedup reads 1.0 by construction.)
+    const Throughput nosb = best(args.seeds, [](unsigned i) {
+        return runStream(i, /*batched=*/true, /*superblocks=*/false);
+    });
     const Throughput oltp = best(args.seeds,
                                  [](unsigned i) { return runOltp(i); });
 
@@ -222,10 +240,15 @@ main(int argc, char **argv)
 
     const double stream_mips = stream.instr / 1e6 / stream.hostSec;
     const double nobatch_mips = nobatch.instr / 1e6 / nobatch.hostSec;
+    const double nosb_mips = nosb.instr / 1e6 / nosb.hostSec;
     const double oltp_mips = oltp.instr / 1e6 / oltp.hostSec;
     const double par_mips = par_instr / 1e6 / par_cpu;
     const double scaling = jobs * (par_mips / stream_mips);
     const double batch_speedup = stream_mips / nobatch_mips;
+    const double sb_speedup = stream_mips / nosb_mips;
+    const double sb_ops = stream.sbReplayed + stream.sbRecorded;
+    const double sb_hit_rate =
+        sb_ops == 0 ? 0 : stream.sbReplayed / sb_ops;
     const double ops_per_round =
         stream.rounds == 0 ? 0 : stream.ops / stream.rounds;
 
@@ -247,6 +270,12 @@ main(int argc, char **argv)
         .cell(nobatch_mips, 1)
         .cell(nobatch.cycles / 1e6 / nobatch.hostSec, 1);
     t.beginRow()
+        .cell("stream x1 (--no-superblock)")
+        .cell(nosb.instr / 1e6, 1)
+        .cell(nosb.hostSec, 3)
+        .cell(nosb_mips, 1)
+        .cell(nosb.cycles / 1e6 / nosb.hostSec, 1);
+    t.beginRow()
         .cell("oltp x4 (sched+mem)")
         .cell(oltp.instr / 1e6, 1)
         .cell(oltp.hostSec, 3)
@@ -262,6 +291,9 @@ main(int argc, char **argv)
     std::printf("\nhorizon batching: %.2fx the per-op scheduler "
                 "(%.0f ops per scheduler round)\n",
                 batch_speedup, ops_per_round);
+    std::printf("superblock replay: %.2fx the cache-off batched loop "
+                "(%.1f%% of guest ops replayed)\n",
+                sb_speedup, 100.0 * sb_hit_rate);
     std::printf("parallel-runner scaling at %u jobs: %.2fx "
                 "(jobs x per-worker CPU efficiency)\n",
                 jobs, scaling);
@@ -290,6 +322,10 @@ main(int argc, char **argv)
             "  \"stream_nobatch_minstr_per_sec\": %.2f,\n"
             "  \"batch_speedup_x\": %.3f,\n"
             "  \"batch_avg_ops_per_round\": %.1f,\n"
+            "  \"superblock_minstr_per_sec\": %.2f,\n"
+            "  \"stream_nosb_minstr_per_sec\": %.2f,\n"
+            "  \"superblock_speedup_x\": %.3f,\n"
+            "  \"superblock_hit_rate\": %.4f,\n"
             "  \"oltp_minstr_per_sec\": %.2f,\n"
             "  \"oltp_mcycles_per_sec\": %.2f,\n"
             "  \"parallel_jobs\": %u,\n"
@@ -302,6 +338,7 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(runTicks), args.seeds,
             stream_mips, stream.cycles / 1e6 / stream.hostSec,
             nobatch_mips, batch_speedup, ops_per_round,
+            stream_mips, nosb_mips, sb_speedup, sb_hit_rate,
             oltp_mips, oltp.cycles / 1e6 / oltp.hostSec, jobs,
             par_mips, scaling,
             static_cast<unsigned long long>(read_p50),

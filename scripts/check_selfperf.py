@@ -5,11 +5,15 @@ the committed baseline.
 Usage: check_selfperf.py BASELINE FRESH [--tolerance PCT]
                          [--floor KEY=VALUE]...
 
-Throughput keys (*_per_sec, *_x ratios such as parallel_scaling_x
-and batch_speedup_x, and *_ops_per_round) gate on slowdown: a fresh
+Throughput keys (*_per_sec, *_x ratios such as parallel_scaling_x,
+batch_speedup_x and superblock_speedup_x, *_ops_per_round, and
+*_rate ratios such as superblock_hit_rate) gate on slowdown: a fresh
 run being slower than baseline by more than the tolerance fails;
 being faster only prints a note (the committed baseline should then
-be refreshed). --floor KEY=VALUE (repeatable) additionally enforces
+be refreshed). A gated key present in only one of the two files is
+itself a failure — a silently vanished (or never-committed) gate is
+how regressions slip through, so the baseline must be refreshed
+whenever the bench grows a gated key. --floor KEY=VALUE (repeatable) additionally enforces
 an absolute minimum on a fresh-run key, independent of the baseline
 — CI uses it to pin hard floors under the headline throughputs so a
 slow creep across many refreshed baselines still gets caught. Latency keys (*_cycles — the PEC read-latency
@@ -60,7 +64,18 @@ def main() -> int:
     with open(args.fresh) as f:
         fresh = json.load(f)
 
+    gated_suffixes = ("_per_sec", "_x", "_ops_per_round", "_rate",
+                      "_cycles")
+
     failures = []
+    # A gated key the fresh bench emits but the committed baseline
+    # lacks means the gate never ran for it: fail loudly instead of
+    # letting an ungated number drift.
+    for key in sorted(fresh.keys() - base.keys()):
+        if key.endswith(gated_suffixes):
+            failures.append(
+                f"{key}: gated key missing from baseline "
+                f"{args.baseline}; refresh the committed baseline")
     for key, base_val in sorted(base.items()):
         if key not in fresh:
             failures.append(f"{key}: missing from fresh run")
@@ -83,7 +98,8 @@ def main() -> int:
             print(f"  {key}: {base_val} -> {fresh_val} "
                   f"({delta_pct:+.1f}%) {marker}")
             continue
-        if not key.endswith(("_per_sec", "_x", "_ops_per_round")):
+        if not key.endswith(("_per_sec", "_x", "_ops_per_round",
+                             "_rate")):
             if fresh_val != base_val:
                 failures.append(
                     f"{key}: run shape changed ({base_val} -> "

@@ -37,7 +37,10 @@ usage(const char *prog, const BenchDefaults &defaults,
         "implies --profile)\n"
         "  --no-batch     run the per-op reference scheduler instead "
         "of horizon-batched execution (bit-identical results, "
-        "slower; for equivalence checking)\n",
+        "slower; for equivalence checking)\n"
+        "  --no-superblock  disable the decoded-op superblock replay "
+        "cache (bit-identical results, slower; for equivalence "
+        "checking)\n",
         prog,
         what_seeds ? what_seeds
                    : "repetitions averaged per table point",
@@ -156,6 +159,8 @@ tryParseBenchArgs(int argc, char **argv, BenchDefaults defaults)
             p.args.faults = value;
         } else if (std::strcmp(arg, "--no-batch") == 0) {
             p.args.noBatch = true;
+        } else if (std::strcmp(arg, "--no-superblock") == 0) {
+            p.args.noSuperblock = true;
         } else if (std::strcmp(arg, "--profile") == 0) {
             p.args.profile = true;
         } else if ((value =
@@ -191,6 +196,8 @@ parseBenchArgs(int argc, char **argv, BenchDefaults defaults,
     // tryParseBenchArgs only records it; side effects live here.)
     if (p.args.noBatch)
         sim::setBatchedExecutionDefault(false);
+    if (p.args.noSuperblock)
+        sim::setSuperblockExecutionDefault(false);
     return p.args;
 }
 

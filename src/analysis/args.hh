@@ -22,6 +22,9 @@
  *   --no-batch       per-op reference scheduler instead of horizon
  *                    batching (bit-identical, slower; equivalence
  *                    checking and CI)
+ *   --no-superblock  disable the decoded-op superblock replay cache
+ *                    (bit-identical, slower; equivalence checking
+ *                    and CI)
  * so `bench_e04 --seeds 16 --jobs 8 --trace e04.json` deepens,
  * parallelizes, and instruments a reproduction run without editing
  * source. Flags also accept the --flag=value spelling. Parsing is
@@ -57,6 +60,13 @@ struct BenchArgs
      * so CI can keep proving that.
      */
     bool noBatch = false;
+    /**
+     * Disable the superblock replay cache (--no-superblock). Applied
+     * by parseBenchArgs via sim::setSuperblockExecutionDefault(false);
+     * like --no-batch this changes no published number — replay is
+     * bit-identical — only how fast the hot path retires ops.
+     */
+    bool noSuperblock = false;
     /** Profile artifact path (setting it via --profile-out implies
         --profile). */
     std::string profileOut = "profile.json";

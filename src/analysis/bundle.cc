@@ -35,6 +35,7 @@ SimBundle::SimBundle(const BundleOptions &options)
     mc.pmuFeatures = options.pmuFeatures;
     mc.seed = options.seed;
     mc.batched = options.batched;
+    mc.superblocks = options.superblocks;
     if (options.quantum != 0)
         mc.costs.quantum = options.quantum;
     machine_ = std::make_unique<sim::Machine>(mc);

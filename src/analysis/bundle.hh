@@ -51,6 +51,15 @@ struct BundleOptions
      * LIMITPP_FORCE_NO_BATCH (see sim::setBatchedExecutionDefault).
      */
     bool batched = true;
+    /**
+     * Superblock replay cache on the batched hot path
+     * (sim::MachineConfig::superblocks). Bit-identical either way;
+     * false disables the cache for this bundle even when the process
+     * default is on. Overridden globally by --no-superblock and
+     * LIMITPP_FORCE_NO_SUPERBLOCK (see
+     * sim::setSuperblockExecutionDefault). No effect unless `batched`.
+     */
+    bool superblocks = true;
 
     class Builder;
     /** Start a validated fluent build (canonical defaults). */
@@ -118,6 +127,12 @@ class BundleOptions::Builder
     Builder &batched(bool on)
     {
         o_.batched = on;
+        return *this;
+    }
+    /** Superblock replay cache (only meaningful with batched(true)). */
+    Builder &superblocks(bool on)
+    {
+        o_.superblocks = on;
         return *this;
     }
 

@@ -105,6 +105,16 @@ class Cache
      *  state transition to access() hitting the MRU way. */
     void creditMruHit() { ++hits_; }
 
+    /** Bulk form of creditMruHit() for superblock replay commits:
+     *  an MRU hit touches nothing but the hit counter. */
+    void creditMruHits(std::uint64_t n) { hits_ += n; }
+
+    /** @name Raw probe state exposed via sim::FastPeekView @{ */
+    const std::uint64_t *tagArrayPtr() const { return lines_.data(); }
+    unsigned lineShiftBits() const { return lineShift_; }
+    std::uint64_t setIndexMask() const { return numSets_ - 1; }
+    /** @} */
+
     /** Probe without changing replacement state (tests/inspection). */
     bool contains(sim::Addr addr) const;
 

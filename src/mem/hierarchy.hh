@@ -84,6 +84,36 @@ class CacheHierarchy : public sim::MemoryIf
         return config_.l1Latency;
     }
 
+    /**
+     * The exact tryFastAccess hit predicate, exported field by field:
+     * same-page TLB repeat AND MRU-way L1 hit at l1Latency. Write vs.
+     * read makes no difference on this path, mirroring tryFastAccess.
+     */
+    sim::FastPeekView
+    fastPeekView(sim::CoreId core) override
+    {
+        sim::FastPeekView v;
+        if (core >= hot_.size() || config_.l1Latency == 0)
+            return v;
+        const HotPath &h = hot_[core];
+        v.latency = config_.l1Latency;
+        v.lastPage = h.tlb->lastPagePtr();
+        v.pageShift = h.tlb->pageShiftBits();
+        v.mruTags = h.l1->tagArrayPtr();
+        v.lineShift = h.l1->lineShiftBits();
+        v.setMask = h.l1->setIndexMask();
+        v.ways = h.l1->ways();
+        return v;
+    }
+
+    void
+    creditFastAccesses(sim::CoreId core, std::uint64_t n) override
+    {
+        const HotPath &h = hot_[core];
+        h.tlb->creditLastPageHits(n);
+        h.l1->creditMruHits(n);
+    }
+
     const HierarchyConfig &config() const { return config_; }
     Cache &l1d(sim::CoreId core);
     Cache &l2(sim::CoreId core);

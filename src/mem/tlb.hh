@@ -81,6 +81,26 @@ class Tlb
         ++hits_;
     }
 
+    /**
+     * Bulk form of creditLastPageHit() for superblock replay commits:
+     * identical final state to `n` successive credits — the recency
+     * clock advances n times and the hot slot's stamp lands on the
+     * final clock value (the intermediate stamp stores are overwrites
+     * of the same slot, so skipping them is unobservable).
+     */
+    void
+    creditLastPageHits(std::uint64_t n)
+    {
+        clock_ += n;
+        slots_[lastSlot_].stamp = clock_;
+        hits_ += n;
+    }
+
+    /** @name Raw probe state exposed via sim::FastPeekView @{ */
+    const std::uint64_t *lastPagePtr() const { return &lastPage_; }
+    unsigned pageShiftBits() const { return pageShift_; }
+    /** @} */
+
     /** Install the page containing `addr`, evicting LRU if needed. */
     void fill(sim::Addr addr);
 

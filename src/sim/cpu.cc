@@ -1,5 +1,6 @@
 #include "sim/cpu.hh"
 
+#include <bit>
 #include <cmath>
 #include <cstddef>
 
@@ -52,6 +53,14 @@ Cpu::step()
     executeOp(ctx);
 }
 
+void
+Cpu::setSuperblocksEnabled(bool on)
+{
+    sbEnabled_ = on;
+    if (on)
+        sbPeek_ = machine_.memory()->fastPeekView(id_);
+}
+
 Cpu::BatchResult
 Cpu::runUntil(Tick bound, Tick poll_at, Tick hard_limit,
               unsigned max_ops)
@@ -78,6 +87,12 @@ Cpu::runUntil(Tick bound, Tick poll_at, Tick hard_limit,
 
         if (!ctx.hasOp) {
             if (ctx.finished()) {
+                if (ctx.sbr.cur != nullptr) {
+                    // The loop's last iterations replayed and then the
+                    // guest ran off the end: commit before the kernel
+                    // reads the exit ledger.
+                    sbCommitReplay(ctx, /*partial=*/true);
+                }
                 if (batchOpsLeft_ > 0)
                     --batchOpsLeft_; // the exiting resume was a round
                 machine_.kernel()->threadExited(*this, ctx);
@@ -110,6 +125,11 @@ Cpu::runUntil(Tick bound, Tick poll_at, Tick hard_limit,
         const bool local = opIsCoreLocal(ctx.op.kind);
         kernelRound_ = false;
         executeOp(ctx);
+        if (ctx.sbState != nullptr) {
+            // Anything that needed a scheduler round (syscall, atomic,
+            // PMC read, refused-inline op) breaks straight-line code.
+            ctx.sbState->noteDiscontinuity();
+        }
         if (kernelRound_) {
             // Timer tick, PMI, or syscall re-entered the kernel: the
             // schedule (busy set, other cores' clocks, poll hint) may
@@ -132,6 +152,15 @@ Cpu::runUntil(Tick bound, Tick poll_at, Tick hard_limit,
 bool
 Cpu::tryInlineOp(GuestContext &ctx)
 {
+    bool flushed = false;
+    if (ctx.sbr.cur != nullptr) [[unlikely]] {
+        // sbStep rejected this op: commit the iterations that did
+        // replay, then run the op on the normal path below. The flush
+        // arms the mid-block resume hint, which belongs to the *next*
+        // op — so no re-entry is attempted for this one.
+        sbCommitReplay(ctx, /*partial=*/true);
+        flushed = true;
+    }
     // Pre-checks mirror runUntil's continue conditions: refusing sends
     // the op down the suspend path, where runUntil either executes it
     // as a classic round or ends the batch.
@@ -142,6 +171,47 @@ Cpu::tryInlineOp(GuestContext &ctx)
              " passed the hard limit at tick ", now_);
 
     const PendingOp &op = ctx.op;
+    // One nap gate for the whole superblock machinery: while the
+    // detector sleeps (see SuperblockState::shouldRecord) this op pays
+    // a single decrement instead of hint/candidate probing plus
+    // recording — the win that keeps non-loopy workloads at cache-off
+    // speed.
+    bool sb_awake = false;
+    if (sbEnabled_) {
+        SuperblockState *st = ctx.sbState.get();
+        if (st == nullptr) [[unlikely]] {
+            ctx.sbState = std::make_unique<SuperblockState>(
+                &machine_.superblockStats(), costs_.mispredictPenalty);
+            st = ctx.sbState.get();
+        }
+        sb_awake = st->shouldRecord();
+    }
+    if (sb_awake && !flushed) {
+        SuperblockState *st = ctx.sbState.get();
+        std::uint32_t start = 0;
+        Superblock *b = st->takeHint(start);
+        if (b == nullptr) {
+            start = 0; // takeHint leaves pos unspecified when unarmed
+            b = st->candidateFor(op.kind);
+        } else if (b->ops[start].kind != op.kind) {
+            b = nullptr; // stale resume hint; fall back to recording
+        }
+        if (b != nullptr && sbTryEnter(ctx, *b, start)) {
+            if (ctx.sbStep())
+                return true;
+            if (ctx.opConsumedInline)
+                return false; // single-op replay ended the batch
+            // Entry op mismatched after all (a mem stall has already
+            // flushed via sbStallMem); commit and fall through.
+            if (ctx.sbr.cur != nullptr)
+                sbCommitReplay(ctx, /*partial=*/true);
+            // A stall flush advances the clock and spends budget, so
+            // the entry pre-checks may no longer hold for this op.
+            if (batchOpsLeft_ == 0 || now_ >= batchBound_ ||
+                now_ >= batchPollAt_)
+                return false;
+        }
+    }
     switch (op.kind) {
       case OpKind::Compute:
         execCompute(ctx, op);
@@ -158,6 +228,10 @@ Cpu::tryInlineOp(GuestContext &ctx)
         return false; // cross-core-visible: scheduler round
     }
     --batchOpsLeft_;
+    if (sb_awake) {
+        ctx.sbState->record(op.kind, op.instrs, op.profile,
+                            lastFastLat_);
+    }
 
     if (!pendingPmis_.empty() || now_ >= quantumEnd) {
         // The drain/timer epilogue can switch threads, which is only
@@ -275,6 +349,7 @@ Cpu::execMemory(GuestContext &ctx, const PendingOp &op)
     // All-hit accesses (the common case on streaming patterns) carry
     // exactly three events; skip the dense-deltas machinery for them.
     if (const Tick fast = mem->tryFastAccess(id_, op.addr, write)) {
+        lastFastLat_ = fast;
         const SparseDelta d[3] = {
             {EventType::Cycles, fast},
             {EventType::Instructions, 1},
@@ -285,8 +360,26 @@ Cpu::execMemory(GuestContext &ctx, const PendingOp &op)
         return;
     }
 
+    lastFastLat_ = 0;
     EventDeltas d;
     const Tick latency = mem->access(id_, op.addr, write, false, d);
+
+    d[EventType::Cycles] += latency;
+    d[EventType::Instructions] += 1;
+    d[write ? EventType::Stores : EventType::Loads] += 1;
+    applyEvents(PrivMode::User, d);
+    now_ += latency;
+    ctx.result = 0;
+}
+
+void
+Cpu::execMemorySlow(GuestContext &ctx, const PendingOp &op)
+{
+    const bool write = op.kind == OpKind::Store;
+    lastFastLat_ = 0;
+    EventDeltas d;
+    const Tick latency =
+        machine_.memory()->access(id_, op.addr, write, false, d);
 
     d[EventType::Cycles] += latency;
     d[EventType::Instructions] += 1;
@@ -485,6 +578,311 @@ Cpu::drainOverflowsSlow()
         i = 0;
     }
     draining_ = false;
+}
+
+// ---------------------------------------------------------------------
+// Superblock replay (see sim/superblock.hh and DESIGN.md)
+// ---------------------------------------------------------------------
+
+bool
+Cpu::sbSizeIters(const Superblock &block, std::uint64_t &out)
+{
+    SuperblockStats &stats = machine_.superblockStats();
+    // Every replayed op must land strictly below the batch bound, the
+    // poll deadline and the quantum end (so per-op execution would
+    // also have run the whole span back to back on this core), and at
+    // or below the hard limit.
+    Tick lim = batchBound_;
+    if (batchPollAt_ < lim)
+        lim = batchPollAt_;
+    if (quantumEnd < lim)
+        lim = quantumEnd;
+    if (lim - now_ <= 1) {
+        ++stats.refusedHorizon;
+        return false;
+    }
+    Tick avail = lim - now_ - 1;
+    if (batchHardLimit_ - now_ < avail)
+        avail = batchHardLimit_ - now_;
+    // The op budget (≤ max_ops per round) is almost always the binding
+    // bound, so start there and confirm the others with multiplies;
+    // the exact divisions only run when a bound actually binds.
+    const std::uint32_t size = static_cast<std::uint32_t>(block.ops.size());
+    std::uint64_t iters = batchOpsLeft_ / size;
+    if (iters == 0) {
+        ++stats.refusedBudget;
+        return false;
+    }
+    // Size the replay to the worst case: maxIterCycles bounds one
+    // iteration's cycles from above, so `iters` full iterations are
+    // guaranteed to fit whatever the residues do.
+    if (static_cast<unsigned __int128>(block.maxIterCycles) * iters >
+        avail) {
+        iters = avail / block.maxIterCycles;
+        if (iters == 0) {
+            ++stats.refusedHorizon;
+            return false;
+        }
+    }
+    // No active counter may wrap inside the replay: wraps raise PMIs
+    // at op granularity, which the one-shot commit could not time.
+    if (!pmu_.fitsWithoutWrap(PrivMode::User, block.iterUb, iters)) {
+        const std::uint64_t byWrap =
+            pmu_.noWrapIterBound(PrivMode::User, block.iterUb);
+        if (byWrap == 0) {
+            ++stats.refusedOverflow;
+            return false;
+        }
+        if (byWrap < iters)
+            iters = byWrap;
+    }
+    out = iters;
+    return true;
+}
+
+bool
+Cpu::sbTryEnter(GuestContext &ctx, Superblock &block, std::uint32_t start)
+{
+    SuperblockStats &stats = machine_.superblockStats();
+    // A fault plan can trigger on any op's seams; replay would skip
+    // its probe points. Refuse outright — fault runs are diagnostics,
+    // not throughput runs.
+    if (machine_.faults() != nullptr) {
+        ++stats.refusedFaults;
+        return false;
+    }
+    // A pending PMI must be delivered at the next op boundary.
+    if (!pendingPmis_.empty()) {
+        ++stats.refusedPmi;
+        return false;
+    }
+    SbReplay &r = ctx.sbr;
+    if (block.numMemOps > 0) {
+        // Model swapped or reconfigured since recording (the view is
+        // refreshed each round; memLat is nonzero by formation), or a
+        // geometry the shift-based set indexing can't express.
+        if (sbPeek_.latency != block.memLat ||
+            (!sbPeek_.alwaysHit &&
+             (sbPeek_.ways & (sbPeek_.ways - 1)) != 0)) {
+            ++stats.refusedMemView;
+            return false;
+        }
+        r.peek = sbPeek_;
+        r.memAlwaysHit = sbPeek_.alwaysHit;
+        if (!sbPeek_.alwaysHit) {
+            r.pageShift = sbPeek_.pageShift;
+            r.lineShift = sbPeek_.lineShift;
+            r.waysShift = static_cast<unsigned>(
+                std::countr_zero(sbPeek_.ways));
+            r.pageVal = *sbPeek_.lastPage;
+            r.setMask = sbPeek_.setMask;
+            r.mruTags = sbPeek_.mruTags;
+        }
+    }
+    std::uint64_t iters;
+    if (!sbSizeIters(block, iters))
+        return false;
+    r.opsBegin = block.ops.data();
+    r.opsEnd = r.opsBegin + block.ops.size();
+    r.cur = r.opsBegin + start;
+    r.startOffset = start;
+    r.itersTotal = iters;
+    r.itersLeft = iters;
+    r.mispredictPenalty = costs_.mispredictPenalty;
+    r.accBranches = 0;
+    r.accMisses = 0;
+    r.block = &block;
+    // Replayable ops all produce a zero result; publish it once.
+    ctx.result = 0;
+    ++stats.entries;
+    return true;
+}
+
+bool
+Cpu::sbResume(GuestContext &ctx, Superblock &block, std::uint32_t start)
+{
+    // Same round, same block: the peek view, fault state (attachable
+    // only between runs), and ops pointers are all still valid, and
+    // the caller already verified no PMI is pending. Only the sizing
+    // must be redone against the advanced clock and budget.
+    std::uint64_t iters;
+    if (!sbSizeIters(block, iters))
+        return false;
+    SbReplay &r = ctx.sbr;
+    r.cur = r.opsBegin + start;
+    r.startOffset = start;
+    r.itersTotal = iters;
+    r.itersLeft = iters;
+    r.accBranches = 0;
+    r.accMisses = 0;
+    r.block = &block;
+    // The bridged access may have moved the TLB's hot page; the other
+    // flattened fields are geometry, invariant within a run.
+    if (!r.memAlwaysHit && block.numMemOps > 0)
+        r.pageVal = *r.peek.lastPage;
+    ++machine_.superblockStats().entries;
+    return true;
+}
+
+bool
+Cpu::sbStallMem(GuestContext &ctx)
+{
+    SbReplay &r = ctx.sbr;
+    Superblock &b = *r.block;
+    const std::uint64_t curOff =
+        static_cast<std::uint64_t>(r.cur - r.opsBegin);
+    // No progress yet: a plain entry miss. Take the ordinary flush so
+    // blocks whose assumptions never hold still accrue failStreak and
+    // go dormant instead of looping through the bridge forever.
+    if (r.itersLeft == r.itersTotal && curOff == r.startOffset) {
+        sbCommitReplay(ctx, /*partial=*/true);
+        return false;
+    }
+    // Commit the span first: the bulk TLB/L1 credits must land before
+    // the full access below mutates the recency state they assume,
+    // and the access's own deltas must apply after the span's.
+    sbCommitReplay(ctx, /*partial=*/true);
+    // The stalled op itself needs the normal path's budget/horizons.
+    if (batchOpsLeft_ == 0 || now_ >= batchBound_ || now_ >= batchPollAt_)
+        return false; // suspend path; hint is armed for the next op
+    panic_if(now_ > batchHardLimit_,
+             "runaway simulation: core ", id_,
+             " passed the hard limit at tick ", now_);
+    execMemorySlow(ctx, ctx.op);
+    --batchOpsLeft_;
+    ++machine_.superblockStats().stallBridges;
+    if (!pendingPmis_.empty() || now_ >= quantumEnd) {
+        epiloguePending_ = true;
+        ctx.opConsumedInline = true;
+        return false;
+    }
+    if (now_ >= batchBound_ || now_ >= batchPollAt_ ||
+        batchOpsLeft_ == 0) {
+        ctx.opConsumedInline = true;
+        return false;
+    }
+    // Continue the same block right after the stalled op. On refusal
+    // the guest still continues inline — just without a replay (the
+    // armed hint lets the next op re-enter through the full path).
+    std::uint32_t next = static_cast<std::uint32_t>(curOff) + 1;
+    if (next == b.ops.size())
+        next = 0;
+    sbResume(ctx, b, next);
+    return true;
+}
+
+bool
+superblockStallMem(GuestContext &ctx) noexcept
+{
+    return ctx.inlineCpu->sbStallMem(ctx);
+}
+
+void
+Cpu::sbCommitReplay(GuestContext &ctx, bool partial)
+{
+    SbReplay &r = ctx.sbr;
+    Superblock &b = *r.block;
+    SuperblockStats &stats = machine_.superblockStats();
+    const std::uint64_t size = b.ops.size();
+    const std::uint64_t fullIters = r.itersTotal - r.itersLeft;
+    const std::uint64_t curOff =
+        static_cast<std::uint64_t>(r.cur - r.opsBegin);
+    const std::uint64_t ops =
+        fullIters * size + curOff - r.startOffset;
+    r.cur = nullptr;
+    r.block = nullptr;
+    if (ops == 0) {
+        // Armed, but the very first op already mismatched: the loop
+        // left its straight line. Back off blocks that keep missing.
+        ++stats.entryMisses;
+        if (++b.failStreak >= 16) {
+            b.failStreak = 0;
+            b.dormantUntil = ctx.sbState->recorded() + 4096;
+        }
+        return;
+    }
+
+    // O(1) commit: everything except the residue-driven branch terms
+    // is a prefix-sum difference (`ops` spans fullIters whole
+    // iterations plus the [startOffset, curOff) partial span).
+    const MicroOp *curOp = r.opsBegin + curOff;
+    const MicroOp *startOp = r.opsBegin + r.startOffset;
+    const Tick base = fullIters * b.iterBase + curOp->prefixBase -
+                      startOp->prefixBase;
+    const std::uint64_t instrs = fullIters * b.iterInstrs +
+                                 curOp->prefixInstrs -
+                                 startOp->prefixInstrs;
+    const std::uint64_t loads = fullIters * b.iterLoads +
+                                curOp->prefixLoads - startOp->prefixLoads;
+    const std::uint64_t stores = fullIters * b.iterStores +
+                                 curOp->prefixStores -
+                                 startOp->prefixStores;
+    const Tick cycles = base + r.accMisses * costs_.mispredictPenalty;
+    // Deferred clock: sbStep does not advance the core clock per op;
+    // the whole span lands here (mid-replay readers reconstruct the
+    // exact time via GuestContext::sbPendingTicks).
+    now_ += cycles;
+    const SparseDelta d[6] = {{EventType::Cycles, cycles},
+                              {EventType::Instructions, instrs},
+                              {EventType::Loads, loads},
+                              {EventType::Stores, stores},
+                              {EventType::Branches, r.accBranches},
+                              {EventType::BranchMisses, r.accMisses}};
+    // sbTryEnter sized the replay so no counter can wrap: this apply
+    // queues no PMIs, making the one-shot fold exact.
+    applyFewEvents(PrivMode::User, d);
+    if (loads + stores > 0)
+        machine_.memory()->creditFastAccesses(id_, loads + stores);
+    batchOpsLeft_ -= static_cast<unsigned>(ops);
+
+    // A productive span is the one signal that keeps the detector out
+    // of its nap (entry misses deliberately don't — a block that keeps
+    // missing should not pin the detector awake).
+    if (ctx.sbState != nullptr)
+        ctx.sbState->noteReplayed();
+    stats.opsReplayed += ops;
+    if (partial)
+        ++stats.partialFlushes;
+    else
+        ++stats.fullCommits;
+    ++b.replays;
+    b.failStreak = 0;
+    if (partial && ctx.sbState != nullptr) {
+        // The op that ended the replay runs on the normal path; the
+        // one after it is expected right after the mismatch point.
+        ctx.sbState->armHint(
+            &b, static_cast<std::uint32_t>((curOff + 1) % size));
+    }
+}
+
+bool
+Cpu::sbFinishReplay(GuestContext &ctx)
+{
+    // The final op of the final iteration just retired: wrap the
+    // cursor so the commit sees `itersTotal` whole iterations.
+    ctx.sbr.cur = ctx.sbr.opsBegin;
+    ctx.sbr.itersLeft = 0;
+    sbCommitReplay(ctx, /*partial=*/false);
+    // Mirror tryInlineOp's post-op checks: the replay was sized to
+    // stay inside every horizon, but it may have consumed the whole
+    // op budget or landed exactly on a boundary.
+    if (!pendingPmis_.empty() || now_ >= quantumEnd) {
+        epiloguePending_ = true;
+        ctx.opConsumedInline = true;
+        return false;
+    }
+    if (now_ >= batchBound_ || now_ >= batchPollAt_ ||
+        batchOpsLeft_ == 0) {
+        ctx.opConsumedInline = true;
+        return false;
+    }
+    return true;
+}
+
+bool
+superblockFinishReplay(GuestContext &ctx) noexcept
+{
+    return ctx.inlineCpu->sbFinishReplay(ctx);
 }
 
 } // namespace limit::sim

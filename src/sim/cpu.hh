@@ -12,6 +12,7 @@
 
 #include "sim/cost_model.hh"
 #include "sim/guest.hh"
+#include "sim/memory_if.hh"
 #include "sim/pmu.hh"
 #include "sim/types.hh"
 
@@ -108,6 +109,38 @@ class Cpu
     bool tryInlineOp(GuestContext &ctx);
 
     /**
+     * Superblock replay completed its final planned op (called from
+     * GuestContext::sbStep via superblockFinishReplay): commit the
+     * deferred deltas. Returns true when the guest may keep running
+     * inline, false (with ctx.opConsumedInline) when the replay
+     * consumed the whole batch budget.
+     */
+    bool sbFinishReplay(GuestContext &ctx);
+
+    /**
+     * Mid-replay stall on a memory op that left the recorded fast
+     * path (called from GuestContext::sbStep via superblockStallMem):
+     * commit the replayed span, execute the op on the full path right
+     * here, and resume the same block at the next offset — skipping
+     * the detector, hint, and candidate machinery entirely. Falls
+     * back to the plain flush (entry-miss bookkeeping included) when
+     * the replay had made no progress, and to the suspend path when
+     * the op budget or a horizon refuses the op. Returns true when
+     * the op was consumed and the guest may keep running inline.
+     */
+    bool sbStallMem(GuestContext &ctx);
+
+    /**
+     * Enable/disable the superblock cache on this core's hot path
+     * (set by Machine::runBatched / runPerOp per run). Enabling
+     * snapshots the memory model's fast-peek view once for the whole
+     * run — its pointers are stable for the life of the machine ↔
+     * memory binding, which cannot change mid-run — so runUntil
+     * rounds don't pay the virtual fastPeekView call.
+     */
+    void setSuperblocksEnabled(bool on);
+
+    /**
      * Charge `cycles` of kernel-mode work to the current thread (or to
      * nobody when idle), applying PMU/ledger events and advancing time.
      */
@@ -183,9 +216,43 @@ class Cpu
 
   private:
     void drainOverflowsSlow();
+    /**
+     * Try to arm a superblock replay for the op about to execute:
+     * checks fault plans, pending PMIs, the batch horizon/poll/quantum
+     * limits, the op budget, PMU headroom (no counter may wrap inside
+     * the replay), and the memory fast-path view, then sizes the
+     * replay to the largest iteration count safe under all of them.
+     */
+    bool sbTryEnter(GuestContext &ctx, Superblock &block,
+                    std::uint32_t start);
+    /**
+     * Shared sizing core of sbTryEnter/sbResume: the largest iteration
+     * count safe under the batch horizon, poll deadline, quantum end,
+     * hard limit, op budget, and PMU no-wrap headroom. False (with the
+     * refusal counted) when not even one iteration fits.
+     */
+    bool sbSizeIters(const Superblock &block, std::uint64_t &iters);
+    /**
+     * Re-arm the just-committed replay after a bridged stall: same
+     * block, same peek view, fresh sizing, starting at op `start`.
+     */
+    bool sbResume(GuestContext &ctx, Superblock &block,
+                  std::uint32_t start);
+    /**
+     * Commit a replay's deferred effects (one applyFewEvents call plus
+     * bulk memory-model credits) and clear the cursor. `partial` marks
+     * replays ended by an op mismatch rather than by plan.
+     */
+    void sbCommitReplay(GuestContext &ctx, bool partial);
     void executeOp(GuestContext &ctx);
     void execCompute(GuestContext &ctx, const PendingOp &op);
     void execMemory(GuestContext &ctx, const PendingOp &op);
+    /**
+     * execMemory for an op already known to miss the fast path (the
+     * bridge validated the exact tryFastAccess predicate through the
+     * live peek view an op ago); skips re-probing it.
+     */
+    void execMemorySlow(GuestContext &ctx, const PendingOp &op);
     void execAtomic(GuestContext &ctx, const PendingOp &op);
     void execPmcRead(GuestContext &ctx, const PendingOp &op);
     void execSyscall(GuestContext &ctx, const PendingOp &op);
@@ -285,6 +352,23 @@ class Cpu
     unsigned batchOpsLeft_ = 0;
     /** A PMI drain / timer tick was deferred to scheduler context. */
     bool epiloguePending_ = false;
+    /** @} */
+
+    /** @name Superblock cache state @{ */
+    /** Replay/record active for this run (batched mode only). */
+    bool sbEnabled_ = false;
+    /**
+     * Fast-path latency of the most recent Load/Store executed by
+     * execMemory (0 = took the full access() path). Lets the recorder
+     * classify memory ops without re-probing the hierarchy.
+     */
+    Tick lastFastLat_ = 0;
+    /**
+     * Memory model's fast-path probe view, refreshed once per batch
+     * round (the model can be swapped between runs, never inside a
+     * round) so sbTryEnter pays no virtual call per entry.
+     */
+    FastPeekView sbPeek_{};
     /** @} */
 };
 

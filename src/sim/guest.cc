@@ -39,7 +39,10 @@ Guest::shouldStop() const
 Tick
 Guest::now() const
 {
-    return ctx_->machine().cpu(ctx_->lastCore).now();
+    // The core clock lags during superblock replay (cycles are folded
+    // in at the commit); add the pending span for an exact answer.
+    return ctx_->machine().cpu(ctx_->lastCore).now() +
+           ctx_->sbPendingTicks();
 }
 
 } // namespace limit::sim

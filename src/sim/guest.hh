@@ -20,9 +20,12 @@
 #include <string>
 #include <vector>
 
+#include <bit>
+
 #include "base/rng.hh"
 #include "sim/cost_model.hh"
 #include "sim/ledger.hh"
+#include "sim/superblock.hh"
 #include "sim/task.hh"
 #include "sim/types.hh"
 
@@ -163,6 +166,31 @@ class GuestContext
      * guest suspended anyway — without re-publishing the op in hasOp.
      */
     bool opConsumedInline = false;
+    /**
+     * Superblock replay cursor: non-null `sbr.cur` means the Cpu
+     * armed a replay and the awaiter fast path is validating ops
+     * against the cached block (see sbStep below).
+     */
+    SbReplay sbr;
+    /** Per-thread superblock detector (lazily created by the Cpu). */
+    std::unique_ptr<SuperblockState> sbState;
+    /**
+     * One step of superblock replay: validate the pending op against
+     * the current micro-op and, on a match, retire it with a single
+     * clock add. Returns true when the op was consumed and the guest
+     * may continue inline; false when the op mismatched (the Cpu will
+     * flush the partial replay and execute it normally) or the replay
+     * completed into an ended batch (opConsumedInline set). Defined
+     * inline below; this is the hottest code in the simulator.
+     */
+    bool sbStep() noexcept;
+    /**
+     * Ticks an in-progress replay has accumulated but not yet folded
+     * into the core clock (the commit folds them in one add). Exact:
+     * prefix sums cover the residue-independent part, accMisses the
+     * mispredict term. Zero when no replay is active.
+     */
+    Tick sbPendingTicks() const noexcept;
     std::vector<RegionId> regionStack;
     /** Region before the most recent region-stack change (for skid). */
     RegionId prevRegion = noRegion;
@@ -205,6 +233,100 @@ class GuestContext
 };
 
 /**
+ * Out-of-line completion hook for a replay that consumed its final
+ * planned op (defined in cpu.cc; forwards to Cpu::sbFinishReplay).
+ * Returns true when the guest may keep running inline.
+ */
+bool superblockFinishReplay(GuestContext &ctx) noexcept;
+
+/**
+ * Out-of-line hook for a mid-replay memory op that left the recorded
+ * fast path (defined in cpu.cc; forwards to Cpu::sbStallMem): commits
+ * the span replayed so far, executes the op on the full path, and
+ * resumes the same block at the next offset when the budgets allow.
+ * Returns true when the op was consumed and the guest may continue.
+ */
+bool superblockStallMem(GuestContext &ctx) noexcept;
+
+inline bool
+GuestContext::sbStep() noexcept
+{
+    SbReplay &r = sbr;
+    const MicroOp &m = *r.cur;
+    const PendingOp &o = op;
+    if (o.kind != m.kind) [[unlikely]]
+        return false;
+    if (m.kind == OpKind::Compute) {
+        // Exact operand match, bitwise on the profile doubles: equal
+        // bits guarantee execCompute would compute identical costs
+        // and residues (stricter than operator==, never unsafe).
+        if (o.instrs != m.instrs ||
+            std::bit_cast<std::uint64_t>(o.profile.branchFrac) !=
+                std::bit_cast<std::uint64_t>(m.profile.branchFrac) ||
+            std::bit_cast<std::uint64_t>(o.profile.mispredictRate) !=
+                std::bit_cast<std::uint64_t>(m.profile.mispredictRate) ||
+            std::bit_cast<std::uint64_t>(o.profile.cpi) !=
+                std::bit_cast<std::uint64_t>(m.profile.cpi)) [[unlikely]]
+            return false;
+        // The branch/mispredict residues are genuinely dynamic state;
+        // run the same recurrence execCompute runs, against the
+        // precomputed branchStep (== instrs * branchFrac exactly).
+        // Cycles are NOT accumulated per op: the commit reconstructs
+        // them exactly from the prefix sums plus accMisses, and
+        // Guest::now() adds sbPendingTicks() for mid-replay reads.
+        if (m.profile.branchFrac != 0.0) {
+            const double branches_f = m.branchStep + branchResidue;
+            const auto branches = static_cast<std::uint64_t>(branches_f);
+            branchResidue = branches_f - static_cast<double>(branches);
+            r.accBranches += branches;
+            if (branches != 0 && m.profile.mispredictRate != 0.0) {
+                const double miss_f =
+                    static_cast<double>(branches) *
+                        m.profile.mispredictRate +
+                    mispredictResidue;
+                const auto misses = static_cast<std::uint64_t>(miss_f);
+                mispredictResidue =
+                    miss_f - static_cast<double>(misses);
+                r.accMisses += misses;
+            }
+        }
+    } else {
+        // Load/Store: the recorded fast-path assumptions must still
+        // hold for this address (same TLB page, L1 MRU way). A miss
+        // here is almost always a line/page crossing of an otherwise
+        // stable loop: bridge it — commit the span, run this one op on
+        // the full path, resume the same block — without tearing the
+        // replay down (Cpu::sbStallMem).
+        if (!r.memAlwaysHit) {
+            if ((o.addr >> r.pageShift) != r.pageVal) [[unlikely]]
+                return superblockStallMem(*this);
+            const std::uint64_t line = o.addr >> r.lineShift;
+            if (r.mruTags[(line & r.setMask) << r.waysShift] != line)
+                [[unlikely]]
+                return superblockStallMem(*this);
+        }
+    }
+    if (++r.cur == r.opsEnd) [[unlikely]] {
+        if (--r.itersLeft == 0)
+            return superblockFinishReplay(*this);
+        r.cur = r.opsBegin;
+    }
+    return true;
+}
+
+inline Tick
+GuestContext::sbPendingTicks() const noexcept
+{
+    const SbReplay &r = sbr;
+    if (r.cur == nullptr)
+        return 0;
+    const std::uint64_t fullIters = r.itersTotal - r.itersLeft;
+    const MicroOp *startOp = r.opsBegin + r.startOffset;
+    return fullIters * r.block->iterBase + r.cur->prefixBase -
+           startOp->prefixBase + r.accMisses * r.mispredictPenalty;
+}
+
+/**
  * Awaiter for a primitive guest op.
  *
  * The issuing Guest method has already written the op's fields into
@@ -229,7 +351,20 @@ class [[nodiscard]] OpAwaiter
     bool
     await_ready() const noexcept
     {
-        return ctx_->inlineCpu != nullptr && inlineExec();
+        GuestContext &c = *ctx_;
+        if (c.inlineCpu == nullptr)
+            return false;
+        if (c.sbr.cur != nullptr) {
+            // Replay in progress: the common outcome is another hit,
+            // retiring the op without touching the Cpu at all.
+            if (c.sbStep())
+                return true;
+            if (c.opConsumedInline)
+                return false; // replay finished and the batch is over
+            // Mismatch: fall through — tryInlineOp flushes the
+            // partial replay before executing this op normally.
+        }
+        return inlineExec();
     }
 
     void

@@ -26,6 +26,19 @@ forcedNoBatch()
 
 bool batchedDefault = true;
 
+bool
+forcedNoSuperblock()
+{
+    static const bool forced = [] {
+        const char *v = std::getenv("LIMITPP_FORCE_NO_SUPERBLOCK");
+        return v != nullptr && v[0] != '\0' &&
+               !(v[0] == '0' && v[1] == '\0');
+    }();
+    return forced;
+}
+
+bool superblockDefault = true;
+
 } // namespace
 
 void
@@ -38,6 +51,18 @@ bool
 batchedExecutionDefault()
 {
     return batchedDefault && !forcedNoBatch();
+}
+
+void
+setSuperblockExecutionDefault(bool enabled)
+{
+    superblockDefault = enabled;
+}
+
+bool
+superblockExecutionDefault()
+{
+    return superblockDefault && !forcedNoSuperblock();
 }
 
 Machine::Machine(const MachineConfig &config)
@@ -91,6 +116,9 @@ Machine::run()
 Tick
 Machine::runPerOp()
 {
+    // The reference loop never records or replays superblocks.
+    for (auto &cpu : cpus_)
+        cpu->setSuperblocksEnabled(false);
     auto earliest_busy = [this]() -> Cpu * {
         Cpu *best = nullptr;
         for (auto &cpu : cpus_) {
@@ -147,6 +175,9 @@ Machine::runPerOp()
 Tick
 Machine::runBatched()
 {
+    const bool sb = config_.superblocks && superblockExecutionDefault();
+    for (auto &cpu : cpus_)
+        cpu->setSuperblocksEnabled(sb);
     // (now, id)-lexicographic order; strict-weak, heap comparator is
     // the inverse (std::*_heap build max-heaps).
     auto after = [](const Cpu *a, const Cpu *b) {

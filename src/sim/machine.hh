@@ -50,6 +50,15 @@ struct MachineConfig
      * loop everywhere regardless of this field.
      */
     bool batched = true;
+    /**
+     * Superblock trace cache on the batched hot path (bit-identical
+     * replay of cached loop bodies; see sim/superblock.hh and
+     * DESIGN.md "Superblock replay"). Effective only in batched mode
+     * and while the process-wide default is also on: --no-superblock
+     * and the LIMITPP_FORCE_NO_SUPERBLOCK environment variable
+     * disable the cache everywhere regardless of this field.
+     */
+    bool superblocks = true;
 };
 
 /**
@@ -59,6 +68,15 @@ struct MachineConfig
  */
 void setBatchedExecutionDefault(bool batched);
 bool batchedExecutionDefault();
+
+/**
+ * Process-wide master switch for the superblock cache, consulted by
+ * every Machine::run. Cleared by --no-superblock
+ * (analysis::parseBenchArgs) and by setting LIMITPP_FORCE_NO_SUPERBLOCK
+ * in the environment.
+ */
+void setSuperblockExecutionDefault(bool enabled);
+bool superblockExecutionDefault();
 
 /**
  * Deterministic multi-core machine.
@@ -141,6 +159,17 @@ class Machine
     /** Guest ops executed across all rounds. */
     std::uint64_t batchOps() const { return batchOps_; }
 
+    /** True when run() will use the superblock cache. */
+    bool
+    superblocksEnabled() const
+    {
+        return config_.batched && batchedExecutionDefault() &&
+               config_.superblocks && superblockExecutionDefault();
+    }
+    /** Machine-wide superblock cache statistics. */
+    SuperblockStats &superblockStats() { return sbStats_; }
+    const SuperblockStats &superblockStats() const { return sbStats_; }
+
   private:
     Tick runPerOp();
     Tick runBatched();
@@ -157,6 +186,7 @@ class Machine
     Tick nextPollAt_ = 0;
     std::uint64_t batchRounds_ = 0;
     std::uint64_t batchOps_ = 0;
+    SuperblockStats sbStats_;
 };
 
 } // namespace limit::sim

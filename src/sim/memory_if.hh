@@ -17,6 +17,39 @@ struct MemAccessResult
     EventDeltas deltas{};
 };
 
+/**
+ * Zero-indirection view of the conditions under which tryFastAccess
+ * succeeds, consumed by the superblock replay loop (see
+ * sim/superblock.hh): the replaying core validates each memory
+ * micro-op against these raw fields inline instead of paying a
+ * virtual call per op.
+ *
+ * `latency == 0` means the model exposes no fast path and memory
+ * micro-ops are never replayed. With `alwaysHit` set, every plain
+ * access fast-paths at `latency` and the probe fields are unused.
+ * Otherwise a fast hit requires *both*
+ *
+ *     (addr >> pageShift) == *lastPage
+ *     mruTags[((addr >> lineShift) & setMask) * ways] == addr >> lineShift
+ *
+ * and the implementation guarantees this predicate is exactly its
+ * tryFastAccess hit condition. The pointed-to state is owned by the
+ * memory model and stays valid while the machine runs; replay
+ * re-fetches the view at every block entry, so the fields only need
+ * to stay accurate between two consecutive ops of one core.
+ */
+struct FastPeekView
+{
+    Tick latency = 0;
+    bool alwaysHit = false;
+    const std::uint64_t *lastPage = nullptr;
+    unsigned pageShift = 0;
+    const std::uint64_t *mruTags = nullptr;
+    unsigned lineShift = 0;
+    std::uint64_t setMask = 0;
+    unsigned ways = 1;
+};
+
 /** Pluggable data-memory model (see mem/CacheHierarchy). */
 class MemoryIf
 {
@@ -55,6 +88,32 @@ class MemoryIf
         return 0;
     }
 
+    /**
+     * Publish the fast-path hit predicate for superblock replay (see
+     * FastPeekView). The default — no fast path — keeps memory ops
+     * out of superblocks without constraining the model.
+     */
+    virtual FastPeekView
+    fastPeekView(CoreId core)
+    {
+        (void)core;
+        return {};
+    }
+
+    /**
+     * Credit `n` consecutive successful fast-path accesses in one
+     * call: must leave the model in exactly the state n successive
+     * tryFastAccess hits would have (hit counters, recency state).
+     * Called once per superblock replay commit. The default matches
+     * the default tryFastAccess, which never succeeds.
+     */
+    virtual void
+    creditFastAccesses(CoreId core, std::uint64_t n)
+    {
+        (void)core;
+        (void)n;
+    }
+
     /** Convenience form returning a fresh result (tests, inspection). */
     MemAccessResult
     access(CoreId core, Addr addr, bool write, bool atomic)
@@ -84,6 +143,21 @@ class FlatMemory : public MemoryIf
     tryFastAccess(CoreId, Addr, bool) override
     {
         return latency_;
+    }
+
+    /**
+     * Unconditional hits, no state to credit (the inherited no-op
+     * creditFastAccesses is exact here).
+     */
+    FastPeekView
+    fastPeekView(CoreId) override
+    {
+        FastPeekView v;
+        if (latency_ == 0)
+            return v; // a 0-latency hit cannot signal "fast" upstream
+        v.latency = latency_;
+        v.alwaysHit = true;
+        return v;
     }
 
   private:

@@ -164,6 +164,58 @@ class Pmu
             mode, [&](unsigned e) { return deltas.counts[e]; }, out);
     }
 
+    /**
+     * Largest number of loop iterations a superblock replay may apply
+     * in `mode` without any active counter wrapping, given the dense
+     * per-iteration upper-bound deltas in `per_iter` (indexed by
+     * EventType). Conservative by construction: the bounds dominate
+     * the actual deltas, and "no wrap on the final value" plus
+     * monotonic accumulation rules out intermediate wraps too, which
+     * is what lets the replay commit fold a whole block into a single
+     * applyActive call without missing a PMI.
+     */
+    std::uint64_t
+    noWrapIterBound(PrivMode mode,
+                    const std::uint64_t (&per_iter)[numEventTypes]) const
+    {
+        const unsigned m = static_cast<unsigned>(mode);
+        const std::uint64_t mask = valueMask();
+        std::uint64_t best = ~0ull;
+        for (unsigned k = 0; k < activeCount_[m]; ++k) {
+            const ActiveCounter ac = active_[m][k];
+            const std::uint64_t u = per_iter[ac.event];
+            if (u == 0)
+                continue;
+            const std::uint64_t bound = (mask - values_[ac.idx]) / u;
+            if (bound < best)
+                best = bound;
+        }
+        return best;
+    }
+
+    /**
+     * Division-free fast path for noWrapIterBound: true when `iters`
+     * iterations provably fit every active counter in `mode` without
+     * a wrap. Callers fall back to noWrapIterBound's exact division
+     * only when this multiply-compare says the bound may bind.
+     */
+    bool
+    fitsWithoutWrap(PrivMode mode,
+                    const std::uint64_t (&per_iter)[numEventTypes],
+                    std::uint64_t iters) const
+    {
+        const unsigned m = static_cast<unsigned>(mode);
+        const std::uint64_t mask = valueMask();
+        for (unsigned k = 0; k < activeCount_[m]; ++k) {
+            const ActiveCounter ac = active_[m][k];
+            const auto need =
+                static_cast<unsigned __int128>(per_iter[ac.event]) * iters;
+            if (need > mask - values_[ac.idx])
+                return false;
+        }
+        return true;
+    }
+
     /** Value mask for the configured width. */
     std::uint64_t
     valueMask() const

@@ -261,6 +261,28 @@ TEST(BenchArgs, RejectsMissingAndOutOfRangeValues)
     EXPECT_FALSE(parseArgs({"--jobs", "100000001"}).ok());
 }
 
+TEST(BenchArgs, ParsesSchedulerBypassFlags)
+{
+    // Snapshot, not an absolute value: the LIMITPP_FORCE_* env
+    // overrides may have flipped the process-wide default at startup
+    // (the no-superblock CI job does exactly that).
+    const bool sb_default = sim::superblockExecutionDefault();
+    const auto p = parseArgs({"--no-batch", "--no-superblock"});
+    ASSERT_TRUE(p.ok()) << p.error;
+    EXPECT_TRUE(p.args.noBatch);
+    EXPECT_TRUE(p.args.noSuperblock);
+    // Defaults stay off, and the flags take no value: a dangling
+    // operand must be rejected as an unknown argument, not silently
+    // swallowed.
+    EXPECT_FALSE(parseArgs({}).args.noSuperblock);
+    const auto q = parseArgs({"--no-superblock", "yes"});
+    ASSERT_FALSE(q.ok());
+    EXPECT_NE(q.error.find("unknown argument"), std::string::npos);
+    // The pure parser records the flag without flipping the
+    // process-wide default (side effects live in parseBenchArgs).
+    EXPECT_EQ(sim::superblockExecutionDefault(), sb_default);
+}
+
 TEST(BenchArgs, ValidatesFaultPlanGrammarUpFront)
 {
     const auto p = parseArgs({"--faults", "warp-core-breach"});
