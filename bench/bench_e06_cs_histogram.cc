@@ -35,7 +35,8 @@ main(int argc, char **argv)
     const auto &apps = benchsync::appNames();
     const std::vector<benchsync::SyncRunResult> runs = pool.map(
         apps.size() * args.seeds, [&](std::size_t i) {
-            return runApp(apps[i / args.seeds], ticks, i % args.seeds);
+            return runApp(apps[i / args.seeds], ticks, i % args.seeds,
+                          nullptr, &args);
         });
 
     prof::Report report;
@@ -75,7 +76,7 @@ main(int argc, char **argv)
         benchsync::TraceSpec tspec;
         tspec.path = args.trace;
         tspec.capacity = args.traceCap;
-        runApp(apps[0], ticks, 0, &tspec);
+        runApp(apps[0], ticks, 0, &tspec, &args);
     }
     analysis::writeProfile(report, args, "bench_e06_cs_histogram");
 

@@ -41,6 +41,8 @@
 #include "analysis/bundle.hh"
 #include "analysis/profile_report.hh"
 #include "analysis/runner.hh"
+#include "analysis/sensitivity/engine.hh"
+#include "analysis/sensitivity/param_space.hh"
 #include "analysis/trace_report.hh"
 #include "pec/pec.hh"
 #include "prof/report.hh"
@@ -61,6 +63,22 @@ threadCpuSec()
 {
     timespec ts{};
     clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/**
+ * CPU time consumed by the whole process, in seconds. The sensitivity
+ * lattice fans its runs across ParallelRunner worker threads, so the
+ * calling thread's clock misses nearly all of the work; the process
+ * clock captures every worker and stays oversubscription-immune the
+ * same way the per-thread clock does.
+ */
+double
+processCpuSec()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
     return static_cast<double>(ts.tv_sec) +
            static_cast<double>(ts.tv_nsec) * 1e-9;
 }
@@ -169,6 +187,78 @@ pecReadLatency()
     return h;
 }
 
+/**
+ * Sensitivity-lattice throughput: the full analysis::sensitivity
+ * stack (ParamSpace expansion through the validating builder, the
+ * ParallelRunner fan-out, per-axis derivative reduction) driven over
+ * a small real-simulation lattice. Points-per-CPU-second is the
+ * figure E15-style studies scale with, so it is gated like the other
+ * headline throughputs.
+ */
+struct LatticeRun
+{
+    double runs = 0;   // simulations executed (baseline + points) x seeds
+    double cpuSec = 0; // process CPU seconds consumed
+};
+
+LatticeRun
+runLattice(unsigned jobs)
+{
+    using analysis::sensitivity::Axis;
+    using analysis::sensitivity::Measurement;
+
+    const double t0 = processCpuSec();
+    analysis::sensitivity::ParamSpace space(
+        analysis::BundleOptions::builder()
+            .cores(1)
+            .l1Size(4 * 1024)
+            .build());
+    space.add(Axis::l1Size({32 * 1024}))
+        .add(Axis::l2Latency({24}))
+        .add(Axis::memLatency({440}));
+
+    analysis::sensitivity::Options opts;
+    opts.scenario = "selfperf";
+    opts.workMetric = "iters";
+    opts.seeds = 2;
+    opts.jobs = jobs;
+    const auto section = analysis::sensitivity::analyze(
+        space,
+        [](const analysis::BundleOptions &base, std::uint64_t seed) {
+            analysis::SimBundle b(
+                analysis::BundleOptions::Builder::from(base)
+                    .seed(seed)
+                    .build());
+            std::uint64_t iters = 0;
+            b.kernel().spawn(
+                "lat", [&](sim::Guest &g) -> sim::Task<void> {
+                    while (!g.shouldStop()) {
+                        co_await g.load(0x8000 + (iters % 256) * 64);
+                        co_await g.compute(2);
+                        ++iters;
+                    }
+                    co_return;
+                });
+            b.run(2'000'000);
+            Measurement m;
+            m.work = static_cast<double>(iters);
+            return m;
+        },
+        opts);
+
+    LatticeRun r;
+    r.cpuSec = processCpuSec() - t0;
+    r.runs = static_cast<double>((1 + space.points().size()) *
+                                 opts.seeds);
+    // The reduction must still have done its job: restoring the
+    // shrunken L1 is the dominant axis on this lattice by design.
+    if (section.axes.empty() || section.axes.front().axis != "l1_size")
+        std::fprintf(stderr,
+                     "selfperf lattice sanity: expected l1_size to "
+                     "rank first\n");
+    return r;
+}
+
 /** Best (max throughput) run of `reps` repetitions. */
 template <typename Fn>
 Throughput
@@ -205,8 +295,11 @@ main(int argc, char **argv)
     // this row and the one above is the horizon-batching win. (Under
     // --no-batch / LIMITPP_FORCE_NO_BATCH both rows run per-op and
     // the speedup reads 1.0 by construction.)
+    // (The per-op loop has no superblock cache, so it is passed
+    // explicitly off — superblocks(true) without batching is a
+    // builder-level contradiction.)
     const Throughput nobatch = best(args.seeds, [](unsigned i) {
-        return runStream(i, /*batched=*/false);
+        return runStream(i, /*batched=*/false, /*superblocks=*/false);
     });
     // Batched but with the superblock replay cache off: the spread
     // between this row and the hot-path row is the superblock win on
@@ -237,6 +330,15 @@ main(int argc, char **argv)
         par_cycles += t.cycles;
         par_cpu += t.hostSec;
     }
+
+    // Sensitivity-lattice throughput, serial then fanned out: the
+    // points-per-CPU-second figure plus the same jobs x efficiency
+    // scaling construction the parallel-runner row uses.
+    const LatticeRun lat1 = runLattice(1);
+    const LatticeRun latN = runLattice(jobs);
+    const double lat1_pps = lat1.runs / lat1.cpuSec;
+    const double latN_pps = latN.runs / latN.cpuSec;
+    const double lat_scaling = jobs * (latN_pps / lat1_pps);
 
     const double stream_mips = stream.instr / 1e6 / stream.hostSec;
     const double nobatch_mips = nobatch.instr / 1e6 / nobatch.hostSec;
@@ -297,6 +399,9 @@ main(int argc, char **argv)
     std::printf("parallel-runner scaling at %u jobs: %.2fx "
                 "(jobs x per-worker CPU efficiency)\n",
                 jobs, scaling);
+    std::printf("sensitivity lattice: %.1f lattice runs/CPU-s serial, "
+                "%.1f at %u jobs (scaling %.2fx)\n",
+                lat1_pps, latN_pps, jobs, lat_scaling);
 
     const stats::HdrHistogram read_lat = pecReadLatency();
     const std::uint64_t read_p50 = read_lat.quantile(0.5);
@@ -331,6 +436,8 @@ main(int argc, char **argv)
             "  \"parallel_jobs\": %u,\n"
             "  \"parallel_minstr_per_sec\": %.2f,\n"
             "  \"parallel_scaling_x\": %.3f,\n"
+            "  \"sensitivity_points_per_sec\": %.2f,\n"
+            "  \"sensitivity_scaling_x\": %.3f,\n"
             "  \"pec_read_p50_cycles\": %llu,\n"
             "  \"pec_read_p99_cycles\": %llu,\n"
             "  \"pec_read_p999_cycles\": %llu\n"
@@ -340,7 +447,7 @@ main(int argc, char **argv)
             nobatch_mips, batch_speedup, ops_per_round,
             stream_mips, nosb_mips, sb_speedup, sb_hit_rate,
             oltp_mips, oltp.cycles / 1e6 / oltp.hostSec, jobs,
-            par_mips, scaling,
+            par_mips, scaling, latN_pps, lat_scaling,
             static_cast<unsigned long long>(read_p50),
             static_cast<unsigned long long>(read_p99),
             static_cast<unsigned long long>(read_p999));

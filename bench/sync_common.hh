@@ -17,8 +17,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/trace_report.hh"
+#include "base/logging.hh"
+#include "fault/plan.hh"
 #include "pec/pec.hh"
 #include "prof/sync_profile.hh"
 #include "workloads/browser.hh"
@@ -54,16 +57,36 @@ struct SyncRunResult
  * Run one app with lock instrumentation for `ticks`. `seed` offsets
  * the workload RNG (0 reproduces the historical tables). A non-null
  * `tspec` attaches a tracer (and narrows the counters, see TraceSpec)
- * and writes the Chrome-trace JSON before returning.
+ * and writes the Chrome-trace JSON before returning. A non-null
+ * `args` applies the shared bench CLI to the run the same way every
+ * other bench does: a --faults plan is installed on the machine
+ * (--no-batch/--no-superblock already act through the process-wide
+ * execution defaults parseBenchArgs sets).
  */
 inline SyncRunResult
 runApp(const std::string &which, sim::Tick ticks, std::uint64_t seed = 0,
-       const TraceSpec *tspec = nullptr)
+       const TraceSpec *tspec = nullptr,
+       const analysis::BenchArgs *args = nullptr)
 {
     auto ob = analysis::BundleOptions::builder().cores(4).seed(1 + seed);
     if (tspec)
         ob.traceCapacity(tspec->capacity).pmuWidth(tspec->pmuWidth);
     analysis::SimBundle b(ob.build());
+
+    // Deterministic fault injection, identical to the --faults
+    // behaviour of the non-sync benches. The controller must outlive
+    // the run; detach before it goes out of scope.
+    std::unique_ptr<fault::PlanController> fault_controller;
+    if (args && !args->faults.empty()) {
+        fault::Plan plan;
+        std::string err;
+        // parseBenchArgs already validated the grammar up front.
+        fatal_if(!fault::Plan::parse(args->faults, plan, err),
+                 "bad --faults spec '", args->faults, "': ", err);
+        fault_controller = std::make_unique<fault::PlanController>(
+            b.machine(), std::move(plan));
+        b.machine().setFaults(fault_controller.get());
+    }
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Cycles, true, true);
     pec::RegionProfilerConfig rc;
@@ -121,6 +144,8 @@ runApp(const std::string &which, sim::Tick ticks, std::uint64_t seed = 0,
         out.workItems = browser->totalEvents();
     if (tspec)
         analysis::writeTraceReport(b, tspec->path);
+    if (fault_controller)
+        b.machine().setFaults(nullptr);
     return out;
 }
 

@@ -43,7 +43,8 @@ main()
     // --- Run 1: precise per-handler measurement -----------------------
     HandlerView precise[numBrowserEvents];
     {
-        analysis::SimBundle b;
+        analysis::SimBundle b(
+            analysis::BundleOptions::builder().build());
         pec::PecSession session(b.kernel());
         session.addEvent(0, sim::EventType::Cycles, true, true);
         pec::RegionProfilerConfig rc;
@@ -71,7 +72,8 @@ main()
     double sampled[numBrowserEvents];
     std::uint64_t total_samples;
     {
-        analysis::SimBundle b;
+        analysis::SimBundle b(
+            analysis::BundleOptions::builder().build());
         baseline::SamplingProfiler prof(b.kernel(), 0,
                                         sim::EventType::Cycles,
                                         250'000, true, true);

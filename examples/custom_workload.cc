@@ -92,7 +92,8 @@ consumer(sim::Guest &g, Pipeline &p, pec::RegionProfiler &prof,
 int
 main()
 {
-    analysis::SimBundle bundle;
+    analysis::SimBundle bundle(
+        analysis::BundleOptions::builder().build());
 
     // Measure cycles AND L1D misses per phase on two counters.
     pec::PecSession session(bundle.kernel());

@@ -23,7 +23,8 @@ using namespace limit;
 int
 main()
 {
-    analysis::SimBundle bundle;
+    analysis::SimBundle bundle(
+        analysis::BundleOptions::builder().build());
 
     // Cycle-precise lock instrumentation (user+kernel cycles so futex
     // sleeps' kernel path is included in acquisition cost).

@@ -30,7 +30,8 @@ main(int argc, char **argv)
 {
     const std::string which = argc > 1 ? argv[1] : "oltp";
 
-    analysis::SimBundle bundle;
+    analysis::SimBundle bundle(
+        analysis::BundleOptions::builder().build());
     pec::PecSession session(bundle.kernel());
     // A four-counter session: the classic perf-stat set.
     session.addEvent(0, sim::EventType::Cycles, true, true);

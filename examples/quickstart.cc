@@ -22,7 +22,8 @@ main()
 {
     // 1. A machine: 4 cores, Xeon-class caches, simulated Linux-like
     //    kernel with counter virtualization.
-    analysis::SimBundle bundle;
+    analysis::SimBundle bundle(
+        analysis::BundleOptions::builder().build());
 
     // 2. A precise-counting session: instructions on counter 0,
     //    L1D misses on counter 1 (user mode only), with the paper's

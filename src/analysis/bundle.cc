@@ -1,12 +1,48 @@
 #include "analysis/bundle.hh"
 
+#include <bit>
+
 #include "base/logging.hh"
 
 namespace limit::analysis {
 
+namespace {
+
+/**
+ * Builder-level replica of the mem::Cache constructor geometry checks,
+ * so an axis-derived or hand-built configuration fails at build() with
+ * a message naming the builder field instead of deep inside machine
+ * construction.
+ */
+void
+checkCacheGeometry(const char *level, const mem::CacheGeometry &g)
+{
+    fatal_if(g.lineBytes == 0 ||
+                 !std::has_single_bit(
+                     static_cast<std::uint64_t>(g.lineBytes)),
+             "BundleOptions: ", level,
+             " line size must be a nonzero power of two, got ",
+             g.lineBytes);
+    fatal_if(g.ways == 0, "BundleOptions: ", level, " needs ways >= 1");
+    const std::uint64_t lines = g.sizeBytes / g.lineBytes;
+    fatal_if(lines == 0 || lines % g.ways != 0,
+             "BundleOptions: ", level, " size ", g.sizeBytes,
+             " is inconsistent with ", g.ways, " ways of ", g.lineBytes,
+             "-byte lines");
+    const std::uint64_t sets = lines / g.ways;
+    fatal_if(!std::has_single_bit(sets),
+             "BundleOptions: ", level, " set count ", sets,
+             " must be a power of two (adjust size or ways)");
+}
+
+} // namespace
+
 BundleOptions
 BundleOptions::Builder::build() const
 {
+    fatal_if(flat_ && hier_,
+             "BundleOptions: flatMemory() conflicts with hierarchy()/"
+             "per-field cache setters — pick one memory model");
     fatal_if(o_.cores == 0, "BundleOptions: need at least one core");
     fatal_if(o_.pmuCounters == 0 ||
                  o_.pmuCounters > sim::maxPmuCounters,
@@ -24,6 +60,22 @@ BundleOptions::Builder::build() const
                  !o_.kernelConfig.virtualizeCounters,
              "BundleOptions: taggedVirtualization requires "
              "virtualizeCounters(true)");
+    // Superblock replay rides the batched scheduler; asking for it
+    // explicitly on the per-op loop would silently never replay.
+    fatal_if(superblocksExplicit_ && o_.superblocks && !o_.batched,
+             "BundleOptions: superblocks(true) requires batched(true)");
+    if (o_.useCaches) {
+        checkCacheGeometry("l1d", o_.hierarchy.l1d);
+        checkCacheGeometry("l2", o_.hierarchy.l2);
+        checkCacheGeometry("llc", o_.hierarchy.llc);
+        fatal_if(o_.hierarchy.dtlb.entries == 0,
+                 "BundleOptions: tlbEntries must be >= 1");
+        fatal_if(o_.hierarchy.dtlb.pageBytes == 0 ||
+                     !std::has_single_bit(static_cast<std::uint64_t>(
+                         o_.hierarchy.dtlb.pageBytes)),
+                 "BundleOptions: TLB page size must be a nonzero power "
+                 "of two, got ", o_.hierarchy.dtlb.pageBytes);
+    }
     return o_;
 }
 

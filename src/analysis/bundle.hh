@@ -21,9 +21,11 @@ namespace limit::analysis {
 /**
  * Options for building a standard experiment machine.
  *
- * Direct aggregate initialization still works but is deprecated for
- * bench code in favour of BundleOptions::Builder, which validates
- * combinations at construction time (see docs/API.md).
+ * Construct through BundleOptions::Builder (or derive a variant from
+ * an existing options value with Builder::from), which validates the
+ * combination at build() time; direct default construction is
+ * deprecated and field-by-field aggregate initialization no longer
+ * compiles (see docs/API.md).
  */
 struct BundleOptions
 {
@@ -64,18 +66,47 @@ struct BundleOptions
     class Builder;
     /** Start a validated fluent build (canonical defaults). */
     static Builder builder();
+
+    [[deprecated("construct BundleOptions via BundleOptions::builder()"
+                 " (or Builder::from to derive a variant)")]]
+    BundleOptions() = default;
+
+  private:
+    /** Non-deprecated construction path reserved for the Builder. */
+    struct FromBuilder
+    {
+    };
+    explicit BundleOptions(FromBuilder) {}
 };
 
 /**
  * Fluent, validating constructor for BundleOptions. Each setter names
  * the knob it sets; build() cross-checks the combination (counter
- * width range, feature dependencies) and fatals with a message naming
- * the offending pair, so an impossible machine is rejected where it
- * is written instead of misbehaving mid-run.
+ * width range, feature dependencies, cache geometry) and fatals with a
+ * message naming the offending pair, so an impossible machine is
+ * rejected where it is written instead of misbehaving mid-run.
  */
 class BundleOptions::Builder
 {
   public:
+    /**
+     * Seed a builder from an existing options value, so a variant
+     * machine can be derived programmatically (the sensitivity
+     * lattice's per-axis perturbations use exactly this). The flat-
+     * memory/hierarchy choice carries over and still conflict-checks:
+     * applying a cache setter to a flat-memory base is rejected at
+     * build() rather than silently re-enabling caches.
+     */
+    static Builder
+    from(const BundleOptions &base)
+    {
+        Builder b;
+        b.o_ = base;
+        b.flat_ = !base.useCaches;
+        b.hier_ = base.useCaches;
+        return b;
+    }
+
     Builder &cores(unsigned n) { o_.cores = n; return *this; }
     Builder &pmuCounters(unsigned n) { o_.pmuCounters = n; return *this; }
     /** Replace the whole PMU feature set (still validated by build()). */
@@ -105,13 +136,74 @@ class BundleOptions::Builder
     Builder &quantum(sim::Tick q) { o_.quantum = q; return *this; }
     Builder &seed(std::uint64_t s) { o_.seed = s; return *this; }
     /** Flat fixed-latency memory instead of the cache hierarchy. */
-    Builder &flatMemory() { o_.useCaches = false; return *this; }
+    Builder &flatMemory()
+    {
+        flat_ = true;
+        o_.useCaches = false;
+        return *this;
+    }
     Builder &hierarchy(const mem::HierarchyConfig &h)
     {
+        hier_ = true;
         o_.useCaches = true;
         o_.hierarchy = h;
         return *this;
     }
+
+    /**
+     * @name Per-field cache-hierarchy setters
+     * Each names one HierarchyConfig knob, implies the cache
+     * hierarchy, and is validated by build() — the sensitivity axes
+     * (analysis/sensitivity/param_space.hh) perturb machines through
+     * these instead of rebuilding a whole HierarchyConfig.
+     * @{
+     */
+    Builder &l1Size(std::uint64_t bytes)
+    {
+        return hierField().l1d.sizeBytes = bytes, *this;
+    }
+    Builder &l1Ways(unsigned n)
+    {
+        return hierField().l1d.ways = n, *this;
+    }
+    Builder &l1Latency(sim::Tick t)
+    {
+        return hierField().l1Latency = t, *this;
+    }
+    Builder &l2Size(std::uint64_t bytes)
+    {
+        return hierField().l2.sizeBytes = bytes, *this;
+    }
+    Builder &l2Latency(sim::Tick t)
+    {
+        return hierField().l2Latency = t, *this;
+    }
+    Builder &llcSize(std::uint64_t bytes)
+    {
+        return hierField().llc.sizeBytes = bytes, *this;
+    }
+    Builder &llcLatency(sim::Tick t)
+    {
+        return hierField().llcLatency = t, *this;
+    }
+    Builder &memLatency(sim::Tick t)
+    {
+        return hierField().memLatency = t, *this;
+    }
+    Builder &tlbEntries(unsigned n)
+    {
+        return hierField().dtlb.entries = n, *this;
+    }
+    Builder &tlbMissPenalty(sim::Tick t)
+    {
+        return hierField().tlbMissPenalty = t, *this;
+    }
+    Builder &nextLinePrefetch(bool on = true)
+    {
+        return hierField().nextLinePrefetch = on, *this;
+    }
+    /** @} */
+
     /** Kernel-side counter save/restore across switches. */
     Builder &virtualizeCounters(bool on)
     {
@@ -132,6 +224,7 @@ class BundleOptions::Builder
     /** Superblock replay cache (only meaningful with batched(true)). */
     Builder &superblocks(bool on)
     {
+        superblocksExplicit_ = true;
         o_.superblocks = on;
         return *this;
     }
@@ -141,7 +234,21 @@ class BundleOptions::Builder
     BundleOptions build() const;
 
   private:
-    BundleOptions o_;
+    mem::HierarchyConfig &
+    hierField()
+    {
+        hier_ = true;
+        o_.useCaches = true;
+        return o_.hierarchy;
+    }
+
+    BundleOptions o_{BundleOptions::FromBuilder{}};
+    /** flatMemory() was requested (conflicts with any cache setter). */
+    bool flat_ = false;
+    /** hierarchy(cfg) or a per-field cache setter was requested. */
+    bool hier_ = false;
+    /** superblocks(on) was called explicitly (vs. left at default). */
+    bool superblocksExplicit_ = false;
 };
 
 inline BundleOptions::Builder
@@ -154,7 +261,7 @@ BundleOptions::builder()
 class SimBundle
 {
   public:
-    explicit SimBundle(const BundleOptions &options = {});
+    explicit SimBundle(const BundleOptions &options);
 
     sim::Machine &machine() { return *machine_; }
     os::Kernel &kernel() { return *kernel_; }

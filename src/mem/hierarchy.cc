@@ -116,4 +116,30 @@ CacheHierarchy::flushAll()
     lastAtomicWriter_.clear();
 }
 
+std::vector<std::pair<const char *, std::uint64_t>>
+configFields(const HierarchyConfig &config)
+{
+    return {
+        {"l1d_size_bytes", config.l1d.sizeBytes},
+        {"l1d_ways", config.l1d.ways},
+        {"l1d_line_bytes", config.l1d.lineBytes},
+        {"l2_size_bytes", config.l2.sizeBytes},
+        {"l2_ways", config.l2.ways},
+        {"l2_line_bytes", config.l2.lineBytes},
+        {"llc_size_bytes", config.llc.sizeBytes},
+        {"llc_ways", config.llc.ways},
+        {"llc_line_bytes", config.llc.lineBytes},
+        {"dtlb_entries", config.dtlb.entries},
+        {"dtlb_page_bytes", config.dtlb.pageBytes},
+        {"l1_latency", config.l1Latency},
+        {"l2_latency", config.l2Latency},
+        {"llc_latency", config.llcLatency},
+        {"mem_latency", config.memLatency},
+        {"tlb_miss_penalty", config.tlbMissPenalty},
+        {"atomic_local_extra", config.atomicLocalExtra},
+        {"atomic_remote_extra", config.atomicRemoteExtra},
+        {"next_line_prefetch", config.nextLinePrefetch ? 1u : 0u},
+    };
+}
+
 } // namespace limit::mem

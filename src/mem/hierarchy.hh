@@ -13,8 +13,10 @@
 #ifndef LIMIT_MEM_HIERARCHY_HH
 #define LIMIT_MEM_HIERARCHY_HH
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mem/cache.hh"
@@ -47,6 +49,16 @@ struct HierarchyConfig
      */
     bool nextLinePrefetch = false;
 };
+
+/**
+ * Named enumeration of every HierarchyConfig knob, in declaration
+ * order: ("l1d_size_bytes", 32768), ("l1_latency", 4), ... Report
+ * writers stamp this into experiment metadata so a result always
+ * carries the exact machine it was measured on, and the sensitivity
+ * engine uses it to label the base point of a parameter lattice.
+ */
+std::vector<std::pair<const char *, std::uint64_t>>
+configFields(const HierarchyConfig &config);
 
 /** Private L1D/L2 per core, shared LLC, per-core DTLB. */
 class CacheHierarchy : public sim::MemoryIf

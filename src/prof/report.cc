@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -60,6 +61,12 @@ pct(std::uint64_t part, std::uint64_t whole)
 }
 
 } // namespace
+
+void
+Report::schema(const std::string &schema_tag)
+{
+    schema_ = schema_tag;
+}
 
 void
 Report::meta(const std::string &key, const std::string &value)
@@ -142,6 +149,12 @@ Report::addOpenRegions(const pec::RegionProfiler &profiler,
     for (const auto &v : profiler.openRegions())
         openRegions_.push_back({regions.name(v.region), v.tid,
                                 v.enterTick});
+}
+
+void
+Report::addSensitivity(const SensitivitySection &section)
+{
+    sensitivity_.push_back(section);
 }
 
 const Report::SyncSection *
@@ -249,6 +262,59 @@ Report::kernelTable(const std::string &title) const
     return t;
 }
 
+stats::Table
+Report::sensitivityTable(const std::string &title) const
+{
+    stats::Table t(title);
+    t.header({"scenario", "rank", "axis", "param", "work", "Δwork %",
+              "elasticity", "score"});
+    for (const auto &s : sensitivity_) {
+        unsigned rank = 0;
+        for (const auto &a : s.axes) {
+            ++rank;
+            for (const auto &l : a.levels) {
+                t.beginRow()
+                    .cell(s.name)
+                    .cell(rank)
+                    .cell(a.axis + " (" + a.unit + ")")
+                    .cell(l.param, 0)
+                    .cell(l.work, 0)
+                    .cell(l.workRelPct, 2)
+                    .cell(l.elasticity, 3)
+                    .cell(a.score, 2);
+            }
+        }
+    }
+    return t;
+}
+
+std::string
+Report::sensitivityMarkdown() const
+{
+    std::ostringstream os;
+    os << "| scenario | rank | axis | base | most sensitive level | "
+          "Δwork % | score |\n|---|---|---|---|---|---|---|\n";
+    for (const auto &s : sensitivity_) {
+        unsigned rank = 0;
+        for (const auto &a : s.axes) {
+            ++rank;
+            // Report the level that realizes the ranking score.
+            const SensitivitySection::Level *best = nullptr;
+            for (const auto &l : a.levels) {
+                if (!best ||
+                    std::abs(l.workRelPct) > std::abs(best->workRelPct))
+                    best = &l;
+            }
+            os << "| " << s.name << " | " << rank << " | " << a.axis
+               << " (" << a.unit << ") | " << fmtDouble(a.baseParam, 0)
+               << " | " << (best ? fmtDouble(best->param, 0) : "-")
+               << " | " << (best ? fmtDouble(best->workRelPct, 2) : "-")
+               << " | " << fmtDouble(a.score, 2) << " |\n";
+        }
+    }
+    return os.str();
+}
+
 std::string
 Report::syncSummaryMarkdown() const
 {
@@ -308,7 +374,7 @@ std::string
 Report::toJson() const
 {
     std::ostringstream os;
-    os << "{\n  \"schema\": \"limitpp-profile-v1\",\n  \"meta\": {";
+    os << "{\n  \"schema\": " << quoted(schema_) << ",\n  \"meta\": {";
     bool first = true;
     for (const auto &[k, v] : meta_) {
         os << (first ? "" : ",") << "\n    " << quoted(k) << ": "
@@ -420,7 +486,56 @@ Report::toJson() const
         os << "\n      ]\n    }";
         first = false;
     }
-    os << (kernel_.empty() ? "" : "\n  ") << "],\n  \"histograms\": {";
+    os << (kernel_.empty() ? "" : "\n  ") << "],\n  \"sensitivity\": [";
+
+    first = true;
+    for (const auto &s : sensitivity_) {
+        os << (first ? "" : ",") << "\n    {\n      \"name\": "
+           << quoted(s.name) << ",\n      \"work_metric\": "
+           << quoted(s.workMetric) << ",\n      \"baseline_work\": "
+           << fmtDouble(s.baselineWork, 6)
+           << ",\n      \"baseline_metrics\": {";
+        bool first_metric = true;
+        for (const auto &[k, v] : s.baselineMetrics) {
+            os << (first_metric ? "" : ", ") << quoted(k) << ": "
+               << fmtDouble(v, 6);
+            first_metric = false;
+        }
+        os << "},\n      \"axes\": [";
+        bool first_axis = true;
+        for (const auto &a : s.axes) {
+            os << (first_axis ? "" : ",") << "\n        {\"axis\": "
+               << quoted(a.axis) << ", \"unit\": " << quoted(a.unit)
+               << ", \"base_param\": " << fmtDouble(a.baseParam, 6)
+               << ", \"score\": " << fmtDouble(a.score, 6)
+               << ",\n         \"levels\": [";
+            bool first_level = true;
+            for (const auto &l : a.levels) {
+                os << (first_level ? "" : ",")
+                   << "\n          {\"param\": " << fmtDouble(l.param, 6)
+                   << ", \"work\": " << fmtDouble(l.work, 6)
+                   << ", \"work_rel_pct\": "
+                   << fmtDouble(l.workRelPct, 6)
+                   << ", \"elasticity\": "
+                   << fmtDouble(l.elasticity, 6)
+                   << ",\n           \"metrics\": {";
+                first_metric = true;
+                for (const auto &[k, v] : l.metrics) {
+                    os << (first_metric ? "" : ", ") << quoted(k)
+                       << ": " << fmtDouble(v, 6);
+                    first_metric = false;
+                }
+                os << "}}";
+                first_level = false;
+            }
+            os << (a.levels.empty() ? "" : "\n         ") << "]}";
+            first_axis = false;
+        }
+        os << (s.axes.empty() ? "" : "\n      ") << "]\n    }";
+        first = false;
+    }
+    os << (sensitivity_.empty() ? "" : "\n  ")
+       << "],\n  \"histograms\": {";
 
     first = true;
     for (const auto &[name, h] : histograms_) {

@@ -58,6 +58,56 @@ class Report
         unsigned runs = 0;
     };
 
+    /**
+     * One scenario's ranked sensitivity analysis: how a work metric
+     * responds to perturbing each machine-configuration axis, ranked
+     * most-sensitive-first (produced by analysis::sensitivity).
+     */
+    struct SensitivitySection
+    {
+        /** One measured lattice point along one axis. */
+        struct Level
+        {
+            /** Axis parameter value at this point. */
+            double param = 0;
+            /** Work metric at this point (seed-averaged). */
+            double work = 0;
+            /** 100 * (work - baseline) / baseline. */
+            double workRelPct = 0;
+            /** (Δwork/work0) / (Δparam/param0). */
+            double elasticity = 0;
+            /** Secondary metrics (miss rates, IPC, ...), sorted. */
+            std::map<std::string, double> metrics;
+        };
+
+        /** One configuration axis with its measured levels. */
+        struct AxisResult
+        {
+            std::string axis;
+            std::string unit;
+            /** Axis parameter value at the baseline machine. */
+            double baseParam = 0;
+            /** Ranking key: max |workRelPct| over the levels. */
+            double score = 0;
+            std::vector<Level> levels;
+        };
+
+        std::string name;
+        /** What `work` measures (e.g. "iterations", "txns"). */
+        std::string workMetric;
+        double baselineWork = 0;
+        std::map<std::string, double> baselineMetrics;
+        /** Ranked most-sensitive-first; ties keep insertion order. */
+        std::vector<AxisResult> axes;
+    };
+
+    /**
+     * Override the "schema" tag in the JSON artifact (default
+     * "limitpp-profile-v1"; the sensitivity engine stamps
+     * "limitpp-sensitivity-v1").
+     */
+    void schema(const std::string &schema_tag);
+
     /** Free-form run metadata, emitted under "meta". */
     void meta(const std::string &key, const std::string &value);
     void meta(const std::string &key, std::uint64_t value);
@@ -87,6 +137,9 @@ class Report
     void addOpenRegions(const pec::RegionProfiler &profiler,
                         const sim::RegionTable &regions);
 
+    /** Attach one scenario's ranked sensitivity analysis. */
+    void addSensitivity(const SensitivitySection &section);
+
     const SyncSection *sync(const std::string &name) const;
     const KernelSection *kernel(const std::string &name) const;
     const std::vector<SyncSection> &syncSections() const
@@ -96,6 +149,10 @@ class Report
     const std::vector<KernelSection> &kernelSections() const
     {
         return kernel_;
+    }
+    const std::vector<SensitivitySection> &sensitivitySections() const
+    {
+        return sensitivity_;
     }
 
     /** @name Rendering @{ */
@@ -109,6 +166,9 @@ class Report
     /** E7-style kernel/user breakdown with ledger drift. */
     stats::Table kernelTable(const std::string &title) const;
 
+    /** E15-style ranked axis × level sensitivity detail. */
+    stats::Table sensitivityTable(const std::string &title) const;
+
     /** The markdown table EXPERIMENTS.md embeds for E5. */
     std::string syncSummaryMarkdown() const;
 
@@ -117,6 +177,9 @@ class Report
      * by kernel share descending (the published presentation).
      */
     std::string kernelMarkdown() const;
+
+    /** The markdown ranking table EXPERIMENTS.md embeds for E15. */
+    std::string sensitivityMarkdown() const;
 
     /** The whole report as deterministic JSON. */
     std::string toJson() const;
@@ -136,9 +199,11 @@ class Report
     SyncSection &syncSection(const std::string &name);
     KernelSection &kernelSection(const std::string &name);
 
+    std::string schema_ = "limitpp-profile-v1";
     std::map<std::string, std::string> meta_;
     std::vector<SyncSection> sync_;
     std::vector<KernelSection> kernel_;
+    std::vector<SensitivitySection> sensitivity_;
     std::vector<std::pair<std::string, stats::HdrHistogram>> histograms_;
     std::vector<OpenRegionEntry> openRegions_;
 };

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "analysis/args.hh"
@@ -24,7 +25,7 @@ using sim::Task;
 
 TEST(Bundle, DefaultWiresCachesAndKernel)
 {
-    SimBundle b;
+    SimBundle b(BundleOptions::builder().build());
     EXPECT_EQ(b.machine().numCores(), 4u);
     EXPECT_NE(b.hierarchy(), nullptr);
     // The machine's memory model is the hierarchy, not flat memory.
@@ -34,9 +35,7 @@ TEST(Bundle, DefaultWiresCachesAndKernel)
 
 TEST(Bundle, FlatMemoryOptionSkipsHierarchy)
 {
-    BundleOptions o;
-    o.useCaches = false;
-    SimBundle b(o);
+    SimBundle b(BundleOptions::builder().flatMemory().build());
     EXPECT_EQ(b.hierarchy(), nullptr);
     // Loads still work (flat fixed-latency model).
     std::uint64_t misses = 1;
@@ -52,19 +51,17 @@ TEST(Bundle, FlatMemoryOptionSkipsHierarchy)
 
 TEST(Bundle, QuantumOptionPropagates)
 {
-    BundleOptions o;
-    o.quantum = 123'456;
-    SimBundle b(o);
+    SimBundle b(BundleOptions::builder().quantum(123'456).build());
     EXPECT_EQ(b.machine().config().costs.quantum, 123'456u);
 }
 
 TEST(Bundle, PmuOptionsPropagate)
 {
-    BundleOptions o;
-    o.pmuCounters = 6;
-    o.pmuFeatures.counterWidth = 20;
-    o.pmuFeatures.destructiveRead = true;
-    SimBundle b(o);
+    SimBundle b(BundleOptions::builder()
+                    .pmuCounters(6)
+                    .pmuWidth(20)
+                    .destructiveRead()
+                    .build());
     auto &pmu = b.machine().cpu(0).pmu();
     EXPECT_EQ(pmu.numCounters(), 6u);
     EXPECT_EQ(pmu.features().counterWidth, 20u);
@@ -73,7 +70,7 @@ TEST(Bundle, PmuOptionsPropagate)
 
 TEST(Bundle, RunAppliesStopRequest)
 {
-    SimBundle b;
+    SimBundle b(BundleOptions::builder().build());
     std::uint64_t iters = 0;
     b.kernel().spawn("t", [&](Guest &g) -> Task<void> {
         while (!g.shouldStop()) {
@@ -89,11 +86,9 @@ TEST(Bundle, RunAppliesStopRequest)
 
 TEST(TotalEvent, SumsAcrossThreadsAndModes)
 {
-    BundleOptions o;
-    o.cores = 2;
-    SimBundle b(o);
+    SimBundle b(BundleOptions::builder().cores(2).build());
     for (int i = 0; i < 3; ++i) {
-        b.kernel().spawn("t" + std::to_string(i),
+        b.kernel().spawn(std::string("t") + std::to_string(i),
                          [](Guest &g) -> Task<void> {
                              co_await g.compute(1'000);
                              co_await g.syscall(os::sysNop);
@@ -173,6 +168,111 @@ TEST(BundleBuilderDeathTest, RejectsInvalidCombinations)
                      .taggedVirtualization()
                      .build(),
                  "taggedVirtualization requires");
+}
+
+TEST(BundleBuilderDeathTest, RejectsMemoryModelConflicts)
+{
+    // Both orders: the conflict is between the two requests, not the
+    // call sequence.
+    EXPECT_DEATH(BundleOptions::builder()
+                     .flatMemory()
+                     .hierarchy(mem::HierarchyConfig{})
+                     .build(),
+                 "flatMemory\\(\\) conflicts");
+    EXPECT_DEATH(BundleOptions::builder()
+                     .hierarchy(mem::HierarchyConfig{})
+                     .flatMemory()
+                     .build(),
+                 "flatMemory\\(\\) conflicts");
+    // Per-field cache setters count as asking for the hierarchy.
+    EXPECT_DEATH(
+        BundleOptions::builder().flatMemory().l1Size(65536).build(),
+        "flatMemory\\(\\) conflicts");
+}
+
+TEST(BundleBuilderDeathTest, RejectsSuperblocksWithoutBatching)
+{
+    EXPECT_DEATH(BundleOptions::builder()
+                     .batched(false)
+                     .superblocks(true)
+                     .build(),
+                 "superblocks\\(true\\) requires batched");
+    // Defaulted superblocks with batched(false) stays legal: that is
+    // exactly what --no-batch produces.
+    const BundleOptions o =
+        BundleOptions::builder().batched(false).build();
+    EXPECT_FALSE(o.batched);
+    // And explicitly turning superblocks *off* is always fine.
+    (void)BundleOptions::builder()
+        .batched(false)
+        .superblocks(false)
+        .build();
+}
+
+TEST(BundleBuilderDeathTest, RejectsBadCacheGeometry)
+{
+    EXPECT_DEATH(BundleOptions::builder().l1Size(0).build(),
+                 "l1d size");
+    // 3000 bytes / 64-byte lines = 46.875 lines: inconsistent.
+    EXPECT_DEATH(BundleOptions::builder().l1Size(3000).build(), "l1d");
+    // 24 KiB / 64 B / 8 ways = 48 sets: not a power of two.
+    EXPECT_DEATH(BundleOptions::builder().l1Size(24 * 1024).build(),
+                 "power of two");
+    EXPECT_DEATH(BundleOptions::builder().l1Ways(0).build(),
+                 "l1d needs ways");
+    EXPECT_DEATH(BundleOptions::builder().l2Size(0).build(), "l2");
+    EXPECT_DEATH(BundleOptions::builder().llcSize(0).build(), "llc");
+    EXPECT_DEATH(BundleOptions::builder().tlbEntries(0).build(),
+                 "tlbEntries");
+}
+
+TEST(BundleBuilder, PerFieldHierarchySettersTargetOneKnob)
+{
+    const BundleOptions o = BundleOptions::builder()
+                                .l1Size(16 * 1024)
+                                .l1Latency(6)
+                                .l2Latency(20)
+                                .llcSize(4 * 1024 * 1024)
+                                .memLatency(300)
+                                .tlbEntries(32)
+                                .tlbMissPenalty(90)
+                                .nextLinePrefetch()
+                                .build();
+    EXPECT_TRUE(o.useCaches);
+    EXPECT_EQ(o.hierarchy.l1d.sizeBytes, 16u * 1024);
+    EXPECT_EQ(o.hierarchy.l1Latency, 6u);
+    EXPECT_EQ(o.hierarchy.l2Latency, 20u);
+    EXPECT_EQ(o.hierarchy.llc.sizeBytes, 4u * 1024 * 1024);
+    EXPECT_EQ(o.hierarchy.memLatency, 300u);
+    EXPECT_EQ(o.hierarchy.dtlb.entries, 32u);
+    EXPECT_EQ(o.hierarchy.tlbMissPenalty, 90u);
+    EXPECT_TRUE(o.hierarchy.nextLinePrefetch);
+    // Untouched knobs keep the Xeon-class defaults.
+    EXPECT_EQ(o.hierarchy.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(o.hierarchy.llcLatency, 38u);
+}
+
+TEST(BundleBuilder, FromDerivesVariantsWithoutDisturbingTheBase)
+{
+    const BundleOptions base = BundleOptions::builder()
+                                   .cores(2)
+                                   .pmuWidth(20)
+                                   .l1Size(16 * 1024)
+                                   .quantum(50'000)
+                                   .build();
+    const BundleOptions variant =
+        BundleOptions::Builder::from(base).l1Size(8 * 1024).build();
+    EXPECT_EQ(variant.hierarchy.l1d.sizeBytes, 8u * 1024);
+    // Everything else carries over from the base.
+    EXPECT_EQ(variant.cores, 2u);
+    EXPECT_EQ(variant.pmuFeatures.counterWidth, 20u);
+    EXPECT_EQ(variant.quantum, 50'000u);
+    EXPECT_EQ(base.hierarchy.l1d.sizeBytes, 16u * 1024);
+    // A flat-memory base still rejects cache perturbations.
+    const BundleOptions flat =
+        BundleOptions::builder().flatMemory().build();
+    EXPECT_DEATH(BundleOptions::Builder::from(flat).l1Size(4096).build(),
+                 "flatMemory\\(\\) conflicts");
 }
 
 // ---------------------------------------------------------------------

@@ -81,11 +81,11 @@ struct ChaosOutcome
 ChaosOutcome
 runChaos(std::uint64_t seed, unsigned cores, unsigned threads)
 {
-    analysis::BundleOptions o;
-    o.cores = cores;
-    o.quantum = 40'000;
-    o.seed = seed;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(cores)
+                              .quantum(40'000)
+                              .seed(seed)
+                              .build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, EventType::Instructions, true, false);
 

@@ -168,10 +168,10 @@ TEST(Prefetcher, FlushClearsNothingUnexpected)
 
 TEST(ProcessTotal, SumsAllThreadsExactly)
 {
-    analysis::BundleOptions o;
-    o.cores = 2;
-    o.quantum = 30'000;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(2)
+                              .quantum(30'000)
+                              .build());
     pec::PecSession s(b.kernel());
     s.addEvent(0, EventType::Instructions, true, false);
     for (int i = 0; i < 4; ++i) {
@@ -192,9 +192,8 @@ TEST(ProcessTotal, ReadsLiveThreadsMidRun)
 {
     // Harvest while a thread is still installed on a core: the live
     // hardware value must be used, not the stale saved copy.
-    analysis::BundleOptions o;
-    o.cores = 1;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(
+        analysis::BundleOptions::builder().cores(1).build());
     pec::PecSession s(b.kernel());
     s.addEvent(0, EventType::Instructions, true, false);
     std::uint64_t mid_total = 0;

@@ -185,10 +185,10 @@ TEST_P(DeterminismSweep, OltpBitIdenticalAcrossRuns)
 {
     const unsigned cores = GetParam();
     auto run_once = [cores] {
-        analysis::BundleOptions o;
-        o.cores = cores;
-        o.quantum = 60'000;
-        analysis::SimBundle b(o);
+        analysis::SimBundle b(analysis::BundleOptions::builder()
+                                  .cores(cores)
+                                  .quantum(60'000)
+                                  .build());
         workloads::OltpConfig cfg;
         cfg.clients = cores + 2;
         workloads::OltpServer oltp(b.machine(), b.kernel(), cfg, 31);
@@ -323,10 +323,10 @@ TEST_P(LedgerAgreementSweep, UserCounterTracksLedgerForEveryEvent)
     const unsigned event_idx = GetParam();
     const auto event = static_cast<EventType>(event_idx);
 
-    analysis::BundleOptions o;
-    o.cores = 2;
-    o.quantum = 40'000;
-    analysis::SimBundle b(o);
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(2)
+                              .quantum(40'000)
+                              .build());
     pec::PecSession s(b.kernel());
     s.addEvent(0, event, true, false);
 

@@ -52,10 +52,10 @@ struct Counts
 Counts
 simulate(std::size_t job)
 {
-    BundleOptions o;
-    o.cores = 2;
-    o.seed = 1 + job;
-    SimBundle b(o);
+    SimBundle b(BundleOptions::builder()
+                    .cores(2)
+                    .seed(1 + job)
+                    .build());
     // The guest work depends on the job index, so distinct jobs
     // produce distinct counts and index mix-ups are observable.
     const int iters = 40 + 3 * static_cast<int>(job % 5);
@@ -183,10 +183,10 @@ TEST(BenchArgsTest, DefaultsAndOverrides)
  */
 TEST(HotPathRegressionTest, LedgerAndFilteredPmuCountsPinned)
 {
-    BundleOptions o;
-    o.cores = 1;
-    o.pmuFeatures.counterWidth = 16; // forces wrap handling to run
-    SimBundle b(o);
+    SimBundle b(BundleOptions::builder()
+                    .cores(1)
+                    .pmuWidth(16) // forces wrap handling to run
+                    .build());
 
     auto &pmu = b.machine().cpu(0).pmu();
     sim::CounterConfig user_instr;

@@ -25,10 +25,10 @@ using sim::PrivMode;
 BundleOptions
 opts(unsigned cores = 4)
 {
-    BundleOptions o;
-    o.cores = cores;
-    o.quantum = 200'000;
-    return o;
+    return BundleOptions::builder()
+        .cores(cores)
+        .quantum(200'000)
+        .build();
 }
 
 TEST(Oltp, RunsAndCommits)
