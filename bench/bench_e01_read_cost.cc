@@ -16,7 +16,7 @@
 
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
-#include "analysis/runner.hh"
+#include "analysis/campaign.hh"
 #include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "baseline/source_set.hh"
@@ -92,13 +92,13 @@ main(int argc, char **argv)
     const auto args = limit::analysis::parseBenchArgs(
         argc, argv, {.seeds = 1, .jobs = 1},
         "simulation seeds averaged per method");
-    limit::analysis::ParallelRunner pool(args.jobs);
 
     const std::vector<limit::baseline::SourceSpec> methods =
         limit::baseline::standardSources();
     const unsigned numMethods = static_cast<unsigned>(methods.size());
 
-    const std::vector<Row> raw = pool.map(
+    const std::vector<Row> raw = limit::analysis::mapGuarded(
+        limit::analysis::campaignOptions(args),
         numMethods * args.seeds, [&](std::size_t i) {
             return runMethod(methods[i / args.seeds], i % args.seeds);
         });

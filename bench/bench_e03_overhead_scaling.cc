@@ -17,7 +17,7 @@
 
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
-#include "analysis/runner.hh"
+#include "analysis/campaign.hh"
 #include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "base/logging.hh"
@@ -97,7 +97,6 @@ main(int argc, char **argv)
     const auto args = analysis::parseBenchArgs(
         argc, argv, {.seeds = 1, .jobs = 1},
         "OLTP workload seeds averaged per table cell");
-    analysis::ParallelRunner pool(args.jobs);
 
     struct Density
     {
@@ -141,8 +140,8 @@ main(int argc, char **argv)
                 jobs.push_back({m, d.every, d.reads, s});
         }
     }
-    const std::vector<std::uint64_t> ops = pool.map(
-        jobs.size(), [&](std::size_t i) {
+    const std::vector<std::uint64_t> ops = analysis::mapGuarded(
+        analysis::campaignOptions(args), jobs.size(), [&](std::size_t i) {
             const Job &j = jobs[i];
             return runOnce(j.spec, j.every, j.reads, j.seed);
         });

@@ -18,7 +18,7 @@
 
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
-#include "analysis/runner.hh"
+#include "analysis/campaign.hh"
 #include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "baseline/sampler.hh"
@@ -124,7 +124,6 @@ main(int argc, char **argv)
     const auto args = limit::analysis::parseBenchArgs(
         argc, argv, {.seeds = 8, .jobs = 1},
         "sampling seeds averaged per segment length");
-    limit::analysis::ParallelRunner pool(args.jobs);
     const unsigned seeds = args.seeds;
 
     Table t("E4: target-segment instruction estimate error vs segment "
@@ -151,8 +150,9 @@ main(int argc, char **argv)
         for (unsigned s = 0; s < seeds; ++s)
             jobs.push_back({L, 64'000, 11 + s});
     }
-    const std::vector<double> estimates = pool.map(
-        jobs.size(), [&](std::size_t i) {
+    const std::vector<double> estimates = limit::analysis::mapGuarded(
+        limit::analysis::campaignOptions(args), jobs.size(),
+        [&](std::size_t i) {
             const Job &j = jobs[i];
             return j.period == 0 ? runPec(j.L)
                                  : runSampled(j.L, j.period, j.seed);

@@ -15,7 +15,7 @@
 
 #include "analysis/args.hh"
 #include "analysis/profile_report.hh"
-#include "analysis/runner.hh"
+#include "analysis/campaign.hh"
 #include "prof/report.hh"
 #include "sync_common.hh"
 
@@ -30,16 +30,17 @@ main(int argc, char **argv)
     const auto args = analysis::parseBenchArgs(
         argc, argv, {.seeds = 1, .jobs = 1},
         "workload seeds averaged in the summary table");
-    analysis::ParallelRunner pool(args.jobs);
 
     // One job per (app, seed); runs merge into the Report in
     // submission order, so the output is identical for any --jobs.
     const auto &apps = benchsync::appNames();
-    const std::vector<benchsync::SyncRunResult> runs = pool.map(
-        apps.size() * args.seeds, [&](std::size_t i) {
-            return runApp(apps[i / args.seeds], ticks, i % args.seeds,
-                          nullptr, &args);
-        });
+    const std::vector<benchsync::SyncRunResult> runs =
+        analysis::mapGuarded(
+            analysis::campaignOptions(args), apps.size() * args.seeds,
+            [&](std::size_t i) {
+                return runApp(apps[i / args.seeds], ticks,
+                              i % args.seeds, nullptr, &args);
+            });
 
     prof::Report report;
     for (const auto &r : runs)

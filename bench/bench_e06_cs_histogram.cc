@@ -15,7 +15,7 @@
 
 #include "analysis/args.hh"
 #include "analysis/profile_report.hh"
-#include "analysis/runner.hh"
+#include "analysis/campaign.hh"
 #include "prof/report.hh"
 #include "sync_common.hh"
 
@@ -30,14 +30,15 @@ main(int argc, char **argv)
     const auto args = analysis::parseBenchArgs(
         argc, argv, {.seeds = 1, .jobs = 1},
         "workload seeds; each seed prints its own histogram section");
-    analysis::ParallelRunner pool(args.jobs);
 
     const auto &apps = benchsync::appNames();
-    const std::vector<benchsync::SyncRunResult> runs = pool.map(
-        apps.size() * args.seeds, [&](std::size_t i) {
-            return runApp(apps[i / args.seeds], ticks, i % args.seeds,
-                          nullptr, &args);
-        });
+    const std::vector<benchsync::SyncRunResult> runs =
+        analysis::mapGuarded(
+            analysis::campaignOptions(args), apps.size() * args.seeds,
+            [&](std::size_t i) {
+                return runApp(apps[i / args.seeds], ticks,
+                              i % args.seeds, nullptr, &args);
+            });
 
     prof::Report report;
     for (std::size_t i = 0; i < runs.size(); ++i) {

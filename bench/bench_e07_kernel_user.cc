@@ -20,7 +20,7 @@
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
 #include "analysis/profile_report.hh"
-#include "analysis/runner.hh"
+#include "analysis/campaign.hh"
 #include "analysis/trace_report.hh"
 #include "pec/pec.hh"
 #include "prof/kernel_profile.hh"
@@ -117,8 +117,6 @@ main(int argc, char **argv)
     const auto args = limit::analysis::parseBenchArgs(
         argc, argv, {.seeds = 1, .jobs = 1},
         "workload seeds averaged per row");
-    limit::analysis::ParallelRunner pool(args.jobs);
-
     constexpr sim::Tick ticks = 30'000'000;
 
     const std::vector<std::string> workloads = {
@@ -129,7 +127,8 @@ main(int argc, char **argv)
     // latency histograms populate; tracing is passive, so the table
     // stays bit-identical to untraced runs.
     const unsigned cap = args.captureCap();
-    const std::vector<Breakdown> runs = pool.map(
+    const std::vector<Breakdown> runs = limit::analysis::mapGuarded(
+        limit::analysis::campaignOptions(args),
         workloads.size() * args.seeds, [&](std::size_t i) {
             return run(workloads[i / args.seeds], ticks,
                        i % args.seeds, cap);

@@ -17,7 +17,7 @@
 
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
-#include "analysis/runner.hh"
+#include "analysis/campaign.hh"
 #include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "pec/pec.hh"
@@ -90,8 +90,6 @@ main(int argc, char **argv)
     const auto args = limit::analysis::parseBenchArgs(
         argc, argv, {.seeds = 1, .jobs = 1},
         "simulation seeds averaged per (width, policy) row");
-    limit::analysis::ParallelRunner pool(args.jobs);
-
     Table t("E8: read correctness and cost under counter overflow "
             "(20k reads of a user-cycle counter)");
     t.header({"width", "policy", "wraps", "bad reads", "restarts",
@@ -113,8 +111,9 @@ main(int argc, char **argv)
         for (auto policy : policies)
             for (unsigned s = 0; s < args.seeds; ++s)
                 jobs.push_back({width, policy, s});
-    const std::vector<Outcome> runs = pool.map(
-        jobs.size(), [&](std::size_t i) {
+    const std::vector<Outcome> runs = limit::analysis::mapGuarded(
+        limit::analysis::campaignOptions(args), jobs.size(),
+        [&](std::size_t i) {
             const Job &j = jobs[i];
             return run(j.policy, j.width, j.seed);
         });

@@ -20,7 +20,7 @@
 
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
-#include "analysis/runner.hh"
+#include "analysis/campaign.hh"
 #include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "os/sysno.hh"
@@ -148,7 +148,6 @@ main(int argc, char **argv)
     const auto args = limit::analysis::parseBenchArgs(
         argc, argv, {.seeds = 1, .jobs = 1},
         "simulation seeds averaged per table cell");
-    limit::analysis::ParallelRunner pool(args.jobs);
 
     // Every table cell is an independent closure over (seed); the
     // whole bench fans out as cells x seeds and each cell reports the
@@ -172,7 +171,8 @@ main(int argc, char **argv)
         [](std::uint64_t s) { return switchCost(true, true, s); },
         [](std::uint64_t s) { return switchCost(false, false, s); },
     };
-    const std::vector<double> raw = pool.map(
+    const std::vector<double> raw = limit::analysis::mapGuarded(
+        limit::analysis::campaignOptions(args),
         cells.size() * args.seeds, [&](std::size_t i) {
             return cells[i / args.seeds](i % args.seeds);
         });

@@ -17,7 +17,7 @@
 
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
-#include "analysis/runner.hh"
+#include "analysis/campaign.hh"
 #include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "stats/table.hh"
@@ -141,7 +141,6 @@ main(int argc, char **argv)
     const auto args = limit::analysis::parseBenchArgs(
         argc, argv, {.seeds = 1, .jobs = 1},
         "workload seeds averaged per row");
-    limit::analysis::ParallelRunner pool(args.jobs);
 
     Table t("E11: web-era applications vs SPEC-class kernels "
             "(25M-cycle runs)");
@@ -153,7 +152,8 @@ main(int argc, char **argv)
         "browser (Firefox-like)", "spec-like: stream",
         "spec-like: ptrchase", "spec-like: matmul",
         "spec-like: sortlike"};
-    const std::vector<Row> runs = pool.map(
+    const std::vector<Row> runs = limit::analysis::mapGuarded(
+        limit::analysis::campaignOptions(args),
         names.size() * args.seeds, [&](std::size_t i) {
             return characterize(names[i / args.seeds], i % args.seeds);
         });

@@ -33,7 +33,7 @@
 
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
-#include "analysis/runner.hh"
+#include "analysis/campaign.hh"
 #include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "fault/plan.hh"
@@ -229,7 +229,8 @@ main(int argc, char **argv)
         argc, argv, {.seeds = 1, .jobs = 1},
         "simulation seeds per (fault class, policy) cell; worst case "
         "reported");
-    analysis::ParallelRunner pool(args.jobs);
+    const analysis::CampaignOptions copts =
+        analysis::campaignOptions(args);
 
     // Recoverable classes: per-read exactness is the bar.
     const std::vector<FaultClass> perRead = {
@@ -276,10 +277,11 @@ main(int argc, char **argv)
             for (auto policy : kPolicies)
                 for (unsigned s = 0; s < args.seeds; ++s)
                     jobs.push_back({&fc, policy, s});
-        return pool.map(jobs.size(), [&](std::size_t i) {
-            const Job &j = jobs[i];
-            return run(j.policy, planOf(j.fc->spec), j.seed);
-        });
+        return analysis::mapGuarded(
+            copts, jobs.size(), [&](std::size_t i) {
+                const Job &j = jobs[i];
+                return run(j.policy, planOf(j.fc->spec), j.seed);
+            });
     };
 
     renderTable(

@@ -15,6 +15,15 @@
  *    cycle counter under the kernel fix-up policy — the counter
  *    wraps every 4096 cycles and the resulting overflow-PMI storm is
  *    the bottleneck; widening the counter beats every cache axis.
+ *  - "spin": a flat-memory load/compute loop on a machine whose
+ *    scheduling quantum was shrunk to 2 000 ticks, so timer overhead
+ *    throttles the loop; restoring the quantum dominates the PMU and
+ *    core-count axes. Unlike the cache-bound scenarios this loop
+ *    retires through the superblock replay cache, which makes it the
+ *    scenario `--faults corrupt-replay` + `--sentinel` exercises:
+ *    the fault corrupts replay commits, the sentinel catches the
+ *    fingerprint divergence and quarantines the fast path, and the
+ *    quarantined re-run restores the oracle's numbers.
  *
  * All lattice points fan through analysis::ParallelRunner, so the
  * report (and the --profile-out JSON, schema limitpp-sensitivity-v1)
@@ -23,12 +32,16 @@
  */
 
 #include <cstdio>
+#include <optional>
+#include <string>
 
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/campaign.hh"
 #include "analysis/profile_report.hh"
 #include "analysis/sensitivity/engine.hh"
 #include "analysis/sensitivity/param_space.hh"
+#include "fault/plan.hh"
 #include "pec/pec.hh"
 #include "prof/report.hh"
 
@@ -41,6 +54,41 @@ using analysis::sensitivity::Measurement;
 using analysis::sensitivity::ParamSpace;
 
 /**
+ * Fault plan spec from --faults, applied to every lattice run (one
+ * fresh PlanController per bundle — workloads run concurrently).
+ * Corrupt-replay plans are the sanctioned way to make the fast path
+ * lie so --sentinel has something to catch.
+ */
+std::string g_faults; // NOLINT: set once in main before any job runs
+
+/** Attach a per-bundle controller for g_faults (empty = none). */
+class ScopedFaults
+{
+  public:
+    explicit ScopedFaults(analysis::SimBundle &b) : bundle_(b)
+    {
+        if (g_faults.empty())
+            return;
+        fault::Plan plan;
+        std::string error;
+        if (!fault::Plan::parse(g_faults, plan, error))
+            return; // already validated by parseBenchArgs
+        controller_.emplace(b.machine(), std::move(plan));
+        b.machine().setFaults(&*controller_);
+    }
+
+    ~ScopedFaults()
+    {
+        if (controller_)
+            bundle_.machine().setFaults(nullptr);
+    }
+
+  private:
+    analysis::SimBundle &bundle_;
+    std::optional<fault::PlanController> controller_;
+};
+
+/**
  * Stride-64 sweep over a 24 KiB buffer (384 lines): resident in a
  * 32 KiB L1D, a guaranteed miss-per-access on the planted 2 KiB one.
  * Work = memory accesses completed in 2M simulated cycles.
@@ -50,6 +98,7 @@ streamWorkload(const BundleOptions &base, std::uint64_t seed)
 {
     analysis::SimBundle b(
         BundleOptions::Builder::from(base).seed(seed).build());
+    ScopedFaults faults(b);
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Cycles, true, true);
 
@@ -98,6 +147,7 @@ overflowWorkload(const BundleOptions &base, std::uint64_t seed)
 {
     analysis::SimBundle b(
         BundleOptions::Builder::from(base).seed(seed).build());
+    ScopedFaults faults(b);
     pec::PecConfig pc;
     pc.policy = pec::OverflowPolicy::KernelFixup;
     pec::PecSession session(b.kernel(), pc);
@@ -123,6 +173,43 @@ overflowWorkload(const BundleOptions &base, std::uint64_t seed)
     return m;
 }
 
+/**
+ * Flat-memory load/compute spin under a starved 2 000-tick quantum:
+ * the loop body (one fast-path load, one 2-instruction compute) forms
+ * a superblock and retires through replay, so this is the scenario
+ * that puts the divergence sentinel's quarry — the replay cache — on
+ * the hot path. Work = loop iterations in 2M simulated cycles.
+ */
+Measurement
+spinWorkload(const BundleOptions &base, std::uint64_t seed)
+{
+    analysis::SimBundle b(
+        BundleOptions::Builder::from(base).seed(seed).build());
+    ScopedFaults faults(b);
+
+    std::uint64_t iters = 0;
+    b.kernel().spawn("spin", [&](sim::Guest &g) -> sim::Task<void> {
+        while (!g.shouldStop()) {
+            co_await g.load(0x8000 + (iters % 256) * 64);
+            co_await g.compute(2);
+            ++iters;
+        }
+        co_return;
+    });
+    b.run(2'000'000);
+
+    Measurement m;
+    m.work = static_cast<double>(iters);
+    m.metrics["context_switches"] = static_cast<double>(
+        b.kernel().totalContextSwitches());
+    m.metrics["cycles_per_iter"] = iters == 0
+        ? 0.0
+        : static_cast<double>(analysis::totalEvent(
+              b.kernel(), sim::EventType::Cycles)) /
+            static_cast<double>(iters);
+    return m;
+}
+
 } // namespace
 
 int
@@ -131,51 +218,92 @@ main(int argc, char **argv)
     const auto args = analysis::parseBenchArgs(
         argc, argv, {.seeds = 1, .jobs = 1},
         "seeds averaged per lattice point");
+    g_faults = args.faults;
+
+    // Both scenarios share the robustness knobs (and the journal
+    // file: records are keyed by config fingerprint, so one file
+    // safely holds both).
+    const auto robustness = [&](analysis::sensitivity::Options &o) {
+        o.jobTimeoutSec = args.jobTimeoutSec;
+        o.journalPath = args.journal;
+        o.resume = args.resume;
+        o.sentinel.enabled = args.sentinel;
+        o.sentinel.sampleEvery = args.sentinelEvery;
+    };
 
     prof::Report report;
 
-    // --- Scenario 1: shrunken L1 on a cache-resident stream ----------
-    {
-        ParamSpace space(BundleOptions::builder()
-                             .cores(1)
-                             .l1Size(2 * 1024) // the planted bottleneck
-                             .build());
-        space.add(Axis::l1Size({32 * 1024}))   // restore to healthy
-            .add(Axis::l1Latency({8}))
-            .add(Axis::l2Latency({24}))
-            .add(Axis::memLatency({440}))
-            .add(Axis::tlbEntries({16}))
-            .add(Axis::counterWidth({16}))
-            .add(Axis::quantum({20'000}));
+    try {
+        // --- Scenario 1: shrunken L1 on a cache-resident stream ------
+        {
+            ParamSpace space(
+                BundleOptions::builder()
+                    .cores(1)
+                    .l1Size(2 * 1024) // the planted bottleneck
+                    .build());
+            space.add(Axis::l1Size({32 * 1024})) // restore to healthy
+                .add(Axis::l1Latency({8}))
+                .add(Axis::l2Latency({24}))
+                .add(Axis::memLatency({440}))
+                .add(Axis::tlbEntries({16}))
+                .add(Axis::counterWidth({16}))
+                .add(Axis::quantum({20'000}));
 
-        analysis::sensitivity::Options opts;
-        opts.scenario = "stream";
-        opts.workMetric = "accesses";
-        opts.seeds = args.seeds;
-        opts.jobs = args.jobs;
-        analysis::sensitivity::analyzeInto(report, space,
-                                           streamWorkload, opts);
-    }
+            analysis::sensitivity::Options opts;
+            opts.scenario = "stream";
+            opts.workMetric = "accesses";
+            opts.seeds = args.seeds;
+            opts.jobs = args.jobs;
+            robustness(opts);
+            analysis::sensitivity::analyzeInto(report, space,
+                                               streamWorkload, opts);
+        }
 
-    // --- Scenario 2: narrowed counter on an exact-read loop ----------
-    {
-        ParamSpace space(BundleOptions::builder()
-                             .cores(1)
-                             .pmuWidth(12) // the planted bottleneck
-                             .build());
-        space.add(Axis::counterWidth({24, 48})) // widen back out
-            .add(Axis::l1Latency({8}))
-            .add(Axis::l2Latency({24}))
-            .add(Axis::memLatency({440}))
-            .add(Axis::quantum({20'000}));
+        // --- Scenario 2: narrowed counter on an exact-read loop ------
+        {
+            ParamSpace space(BundleOptions::builder()
+                                 .cores(1)
+                                 .pmuWidth(12) // the planted bottleneck
+                                 .build());
+            space.add(Axis::counterWidth({24, 48})) // widen back out
+                .add(Axis::l1Latency({8}))
+                .add(Axis::l2Latency({24}))
+                .add(Axis::memLatency({440}))
+                .add(Axis::quantum({20'000}));
 
-        analysis::sensitivity::Options opts;
-        opts.scenario = "overflow";
-        opts.workMetric = "reads";
-        opts.seeds = args.seeds;
-        opts.jobs = args.jobs;
-        analysis::sensitivity::analyzeInto(report, space,
-                                           overflowWorkload, opts);
+            analysis::sensitivity::Options opts;
+            opts.scenario = "overflow";
+            opts.workMetric = "reads";
+            opts.seeds = args.seeds;
+            opts.jobs = args.jobs;
+            robustness(opts);
+            analysis::sensitivity::analyzeInto(report, space,
+                                               overflowWorkload, opts);
+        }
+
+        // --- Scenario 3: starved quantum on a replayable spin loop ---
+        {
+            ParamSpace space(BundleOptions::builder()
+                                 .cores(1)
+                                 .flatMemory()
+                                 .quantum(2'000) // the planted bottleneck
+                                 .build());
+            space.add(Axis::quantum({20'000})) // restore to healthy
+                .add(Axis::counterWidth({48}))
+                .add(Axis::cores({2}));
+
+            analysis::sensitivity::Options opts;
+            opts.scenario = "spin";
+            opts.workMetric = "iterations";
+            opts.seeds = args.seeds;
+            opts.jobs = args.jobs;
+            robustness(opts);
+            analysis::sensitivity::analyzeInto(report, space,
+                                               spinWorkload, opts);
+        }
+    } catch (const analysis::CampaignInterrupted &e) {
+        std::fprintf(stderr, "\n%s\n", e.what());
+        return 130; // 128 + SIGINT, the conventional ^C exit status
     }
 
     std::fputs(report
@@ -205,8 +333,10 @@ main(int argc, char **argv)
     std::puts("\nShape check: 'stream' ranks l1_size first (restoring "
               "the shrunken L1 recovers the most work), 'overflow' "
               "ranks pmu_width first (widening the 12-bit\n"
-              "counter dissolves the overflow-PMI storm) — the engine "
-              "identifies the planted bottleneck without a human "
-              "reading the tables.");
+              "counter dissolves the overflow-PMI storm), 'spin' ranks "
+              "quantum first (the starved 2000-tick quantum is pure "
+              "timer overhead) — the engine identifies\n"
+              "the planted bottleneck without a human reading the "
+              "tables.");
     return 0;
 }

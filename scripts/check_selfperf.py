@@ -3,7 +3,7 @@
 the committed baseline.
 
 Usage: check_selfperf.py BASELINE FRESH [--tolerance PCT]
-                         [--floor KEY=VALUE]...
+                         [--floor KEY=VALUE]... [--ceiling KEY=VALUE]...
 
 Throughput keys (*_per_sec, *_x ratios such as parallel_scaling_x,
 batch_speedup_x and superblock_speedup_x, *_ops_per_round, and
@@ -23,9 +23,13 @@ by more than the latency tolerance fails. They are measured in
 host-independent — the default latency tolerance is therefore 0%:
 any increase is a real regression (or deliberate cost-model change)
 in the PEC read fast path and must be acknowledged by refreshing the
-baseline. Non-throughput, non-latency keys (run_ticks, repetitions,
-parallel_jobs) must match exactly, since differing run shapes make
-the numbers incomparable.
+baseline. --ceiling KEY=VALUE (repeatable) is the mirror of --floor:
+an absolute maximum on a fresh-run key — CI uses it to cap overhead
+metrics such as sentinel_overhead_pct. Keys ending in _pct are
+informational overhead percentages, not throughputs: they are printed
+but never gated except through an explicit --ceiling. Non-throughput,
+non-latency keys (run_ticks, repetitions, parallel_jobs) must match
+exactly, since differing run shapes make the numbers incomparable.
 """
 
 import argparse
@@ -46,23 +50,47 @@ def main() -> int:
                     metavar="KEY=VALUE",
                     help="absolute floor on a fresh-run key (repeatable);"
                          " fails if fresh[KEY] < VALUE")
+    ap.add_argument("--ceiling", action="append", default=[],
+                    metavar="KEY=VALUE",
+                    help="absolute ceiling on a fresh-run key"
+                         " (repeatable); fails if fresh[KEY] > VALUE")
     args = ap.parse_args()
 
-    floors = []
-    for spec in args.floor:
-        key, sep, text = spec.partition("=")
-        if not sep or not key:
-            ap.error(f"--floor needs KEY=VALUE, got '{spec}'")
-        try:
-            floors.append((key, float(text)))
-        except ValueError:
-            ap.error(f"--floor value for '{key}' is not a number: "
-                     f"'{text}'")
+    def parse_bounds(specs, flag):
+        out = []
+        for spec in specs:
+            key, sep, text = spec.partition("=")
+            if not sep or not key:
+                ap.error(f"{flag} needs KEY=VALUE, got '{spec}'")
+            try:
+                out.append((key, float(text)))
+            except ValueError:
+                ap.error(f"{flag} value for '{key}' is not a number: "
+                         f"'{text}'")
+        return out
 
-    with open(args.baseline) as f:
-        base = json.load(f)
-    with open(args.fresh) as f:
-        fresh = json.load(f)
+    floors = parse_bounds(args.floor, "--floor")
+    ceilings = parse_bounds(args.ceiling, "--ceiling")
+
+    def load(path, role):
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except FileNotFoundError:
+            print(f"check_selfperf: {role} file '{path}' does not exist"
+                  f" — run bench_selfperf to produce it (it writes"
+                  f" BENCH_selfperf.json into its working directory)",
+                  file=sys.stderr)
+            sys.exit(1)
+        except json.JSONDecodeError as e:
+            print(f"check_selfperf: {role} file '{path}' is not valid"
+                  f" JSON ({e}) — rerun bench_selfperf; a truncated"
+                  f" file usually means the bench was interrupted",
+                  file=sys.stderr)
+            sys.exit(1)
+
+    base = load(args.baseline, "baseline")
+    fresh = load(args.fresh, "fresh")
 
     gated_suffixes = ("_per_sec", "_x", "_ops_per_round", "_rate",
                       "_cycles")
@@ -72,6 +100,8 @@ def main() -> int:
     # lacks means the gate never ran for it: fail loudly instead of
     # letting an ungated number drift.
     for key in sorted(fresh.keys() - base.keys()):
+        if key.endswith("_pct"):
+            continue
         if key.endswith(gated_suffixes):
             failures.append(
                 f"{key}: gated key missing from baseline "
@@ -97,6 +127,12 @@ def main() -> int:
                 marker = "faster (consider refreshing the baseline)"
             print(f"  {key}: {base_val} -> {fresh_val} "
                   f"({delta_pct:+.1f}%) {marker}")
+            continue
+        if key.endswith("_pct"):
+            # Overhead percentages vary with host load; print them for
+            # the log but gate only through an explicit --ceiling.
+            print(f"  {key}: {base_val:.2f} -> {fresh_val:.2f} "
+                  f"(informational)")
             continue
         if not key.endswith(("_per_sec", "_x", "_ops_per_round",
                              "_rate")):
@@ -130,6 +166,21 @@ def main() -> int:
             marker = "FAIL"
             failures.append(f"{key}: {have} below floor {want}")
         print(f"  {key}: {have} >= floor {want} {marker}")
+
+    for key, want in ceilings:
+        if key not in fresh:
+            failures.append(
+                f"{key}: --ceiling key missing from fresh run"
+                f" {args.fresh}; the bench that emits it did not run"
+                f" (or dropped the key) — the gate cannot pass by"
+                f" omission")
+            continue
+        have = fresh[key]
+        marker = "ok"
+        if have > want:
+            marker = "FAIL"
+            failures.append(f"{key}: {have} above ceiling {want}")
+        print(f"  {key}: {have} <= ceiling {want} {marker}")
 
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)

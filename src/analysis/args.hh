@@ -25,6 +25,17 @@
  *   --no-superblock  disable the decoded-op superblock replay cache
  *                    (bit-identical, slower; equivalence checking
  *                    and CI)
+ *   --job-timeout S  per-job host wall-clock watchdog in seconds; a
+ *                    job over budget is retried once in the next
+ *                    slower execution mode, then marked failed
+ *   --journal FILE   append-only crash-safe campaign journal (fsync'd
+ *                    per completed job; see docs/ROBUSTNESS.md)
+ *   --resume         skip jobs already completed in --journal and
+ *                    reproduce the merged tables bit-identically
+ *   --sentinel       online divergence sentinel: cross-check sampled
+ *                    jobs against the per-op oracle and quarantine
+ *                    the fast path on mismatch
+ *   --sentinel-every N  cross-check every Nth job (default 1)
  * so `bench_e04 --seeds 16 --jobs 8 --trace e04.json` deepens,
  * parallelizes, and instruments a reproduction run without editing
  * source. Flags also accept the --flag=value spelling. Parsing is
@@ -70,6 +81,22 @@ struct BenchArgs
     /** Profile artifact path (setting it via --profile-out implies
         --profile). */
     std::string profileOut = "profile.json";
+    /**
+     * Per-job host wall-clock budget in seconds (--job-timeout); 0 =
+     * no watchdog. Applied by parseBenchArgs via
+     * sim::setJobWatchdogDefault, so every Machine::run the bench
+     * performs throws sim::WatchdogTimeout once the budget lapses; the
+     * campaign layer retries the job once one mode-ladder rung slower.
+     */
+    double jobTimeoutSec = 0;
+    /** Crash-safe campaign journal path (--journal); empty = off. */
+    std::string journal;
+    /** Skip jobs already completed in the journal (--resume). */
+    bool resume = false;
+    /** Enable the online divergence sentinel (--sentinel). */
+    bool sentinel = false;
+    /** Cross-check every Nth sentinel-routed job (--sentinel-every). */
+    unsigned sentinelEvery = 1;
 
     bool tracing() const { return !trace.empty(); }
 

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "base/logging.hh"
+#include "guard/sentinel.hh"
 
 namespace limit::analysis {
 
@@ -107,6 +108,19 @@ SimBundle::SimBundle(const BundleOptions &options)
                                                   options.traceCapacity);
         machine_->setTracer(tracer_.get());
     }
+}
+
+sim::Tick
+SimBundle::run(sim::Tick stop_at)
+{
+    if (guard::ProbeScope *probe = guard::ProbeScope::active()) {
+        machine_->requestStopAt(probe->window(stop_at));
+        const sim::Tick end = machine_->run();
+        probe->fold(*kernel_, *machine_, end);
+        return end;
+    }
+    machine_->requestStopAt(stop_at);
+    return machine_->run();
 }
 
 std::uint64_t

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "analysis/trace_report.hh"
+#include "guard/sentinel.hh"
 #include "prof/kernel_profile.hh"
 
 namespace limit::analysis {
@@ -63,6 +64,10 @@ bool
 writeRunArtifacts(SimBundle &bundle, const BenchArgs &args,
                   prof::Report &report, const std::string &bench)
 {
+    // Sentinel probes re-run jobs over a truncated window; their
+    // bundles must never clobber the artifacts of the accepted run.
+    if (guard::ProbeScope::active() != nullptr)
+        return true;
     bool ok = true;
     if (args.tracing())
         ok = writeTraceReport(bundle, args.trace) && ok;

@@ -18,9 +18,11 @@
  *
  * Exceptions: a throwing job never wedges the pool. Workers catch the
  * exception into the job's slot and keep draining the queue; after
- * all workers join, the lowest-index captured exception is rethrown
- * on the calling thread (the serial path matches: run everything,
- * then rethrow the first failure).
+ * all workers join, failures are aggregated on the calling thread: a
+ * single failed job rethrows its original exception unchanged, while
+ * multiple failures throw one std::runtime_error listing every failed
+ * job index with its what() (the serial path matches: run everything,
+ * then report). failedJobs() exposes the count either way.
  */
 
 #ifndef LIMIT_ANALYSIS_RUNNER_HH
@@ -30,6 +32,8 @@
 #include <cstddef>
 #include <exception>
 #include <optional>
+#include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -51,6 +55,10 @@ class ParallelRunner
     }
 
     unsigned workers() const { return workers_; }
+
+    /** Jobs that threw in the most recent map() (0 when it returned
+        normally; set before the failure is thrown). */
+    std::size_t failedJobs() const { return failedJobs_; }
 
     /**
      * Run `fn(0) .. fn(count - 1)` across the pool and return the
@@ -110,9 +118,39 @@ class ParallelRunner
                 t.join();
         }
 
+        std::vector<std::size_t> failed;
         for (std::size_t i = 0; i < count; ++i) {
             if (slots[i].error)
-                std::rethrow_exception(slots[i].error);
+                failed.push_back(i);
+        }
+        failedJobs_ = failed.size();
+        if (failed.size() == 1) {
+            // One failure: surface the original exception type intact.
+            std::rethrow_exception(slots[failed[0]].error);
+        }
+        if (!failed.empty()) {
+            // Several failures: no single exception can carry them
+            // all, so aggregate index + what() into one error instead
+            // of silently discarding all but the first.
+            std::ostringstream os;
+            os << failed.size() << " of " << count << " jobs failed: ";
+            const std::size_t shown =
+                std::min<std::size_t>(failed.size(), 8);
+            for (std::size_t k = 0; k < shown; ++k) {
+                if (k > 0)
+                    os << "; ";
+                os << "job " << failed[k] << ": ";
+                try {
+                    std::rethrow_exception(slots[failed[k]].error);
+                } catch (const std::exception &e) {
+                    os << e.what();
+                } catch (...) {
+                    os << "unknown exception";
+                }
+            }
+            if (failed.size() > shown)
+                os << "; (+" << failed.size() - shown << " more)";
+            throw std::runtime_error(os.str());
         }
 
         std::vector<R> out;
@@ -126,6 +164,7 @@ class ParallelRunner
     static unsigned resolveWorkers(unsigned requested);
 
     unsigned workers_;
+    std::size_t failedJobs_ = 0;
 };
 
 } // namespace limit::analysis

@@ -1,0 +1,54 @@
+#include "guard/fingerprint.hh"
+
+#include "os/kernel.hh"
+#include "os/thread.hh"
+#include "sim/cpu.hh"
+#include "sim/ledger.hh"
+#include "sim/machine.hh"
+#include "sim/pmu.hh"
+
+namespace limit::guard {
+
+void
+foldRun(Fingerprint &fp, os::Kernel &kernel, sim::Machine &machine,
+        sim::Tick endTick)
+{
+    ++fp.runs;
+    fp.mix(endTick);
+    if (endTick > fp.endTick)
+        fp.endTick = endTick;
+
+    const std::uint64_t cs = kernel.totalContextSwitches();
+    fp.mix(cs);
+    fp.contextSwitches += cs;
+
+    // Thread-major, mode-major, event-ordered ledgers: the exact
+    // ground truth every execution mode must reproduce bit-for-bit.
+    const unsigned threads = kernel.numThreads();
+    fp.mix(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        const sim::EventLedger &ledger = kernel.thread(t).ctx.ledger();
+        for (sim::PrivMode m : {sim::PrivMode::User, sim::PrivMode::Kernel}) {
+            for (unsigned e = 0; e < sim::numEventTypes; ++e) {
+                const std::uint64_t v =
+                    ledger.count(static_cast<sim::EventType>(e), m);
+                fp.mix(v);
+                if (static_cast<sim::EventType>(e) ==
+                    sim::EventType::Instructions)
+                    fp.instructions += v;
+            }
+        }
+    }
+
+    // Core-major final PMU values — catches save/restore and
+    // accumulation bugs the ledgers alone would miss.
+    const unsigned cores = machine.numCores();
+    fp.mix(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        const sim::Pmu &pmu = machine.cpu(c).pmu();
+        for (unsigned k = 0; k < pmu.numCounters(); ++k)
+            fp.mix(pmu.read(k));
+    }
+}
+
+} // namespace limit::guard

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <ctime>
+#include <optional>
+#include <sstream>
 
 #include "base/logging.hh"
 #include "sim/kernel_if.hh"
@@ -39,7 +42,82 @@ forcedNoSuperblock()
 
 bool superblockDefault = true;
 
+double watchdogDefaultSec = 0;
+
+/** Absolute CLOCK_MONOTONIC deadline in ns; 0 = no watchdog armed. */
+thread_local std::uint64_t watchdogDeadlineNs = 0;
+/** The budget behind the armed deadline (for the timeout message). */
+thread_local double watchdogBudgetSec = 0;
+
+std::uint64_t
+monotonicNs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+[[noreturn]] void
+throwWatchdogTimeout(Tick now)
+{
+    std::ostringstream os;
+    os << "job watchdog: simulation exceeded its " << watchdogBudgetSec
+       << "s host-time budget (simulated tick " << now << ")";
+    throw WatchdogTimeout(os.str());
+}
+
+/**
+ * Cheap periodic deadline check for the run loops: `ticker` advances
+ * once per scheduler round and the clock is only read every `mask + 1`
+ * rounds, keeping the no-watchdog and not-yet-due cases at a couple of
+ * predictable branches.
+ */
+inline void
+watchdogPoll(std::uint32_t &ticker, std::uint32_t mask, Tick now)
+{
+    if ((++ticker & mask) != 0)
+        return;
+    if (watchdogDeadlineNs != 0 && monotonicNs() > watchdogDeadlineNs)
+        throwWatchdogTimeout(now);
+}
+
 } // namespace
+
+void
+setJobWatchdogDefault(double seconds)
+{
+    watchdogDefaultSec = seconds > 0 ? seconds : 0;
+}
+
+double
+jobWatchdogDefault()
+{
+    return watchdogDefaultSec;
+}
+
+ScopedWatchdog::ScopedWatchdog(double seconds)
+    : prevDeadline_(watchdogDeadlineNs), prevBudget_(watchdogBudgetSec)
+{
+    if (seconds > 0) {
+        watchdogDeadlineNs =
+            monotonicNs() +
+            static_cast<std::uint64_t>(seconds * 1e9);
+        watchdogBudgetSec = seconds;
+    }
+}
+
+ScopedWatchdog::~ScopedWatchdog()
+{
+    watchdogDeadlineNs = prevDeadline_;
+    watchdogBudgetSec = prevBudget_;
+}
+
+bool
+ScopedWatchdog::armed()
+{
+    return watchdogDeadlineNs != 0;
+}
 
 void
 setBatchedExecutionDefault(bool batched)
@@ -103,8 +181,16 @@ Tick
 Machine::run()
 {
     panic_if(!kernel_, "Machine::run without a kernel");
-    if (config_.batched && batchedExecutionDefault())
+    // Benches with no campaign still honour --job-timeout: each run is
+    // one job unless an outer ScopedWatchdog (a campaign's per-job
+    // deadline, which may span several runs) is already armed.
+    std::optional<ScopedWatchdog> wd;
+    if (!ScopedWatchdog::armed() && jobWatchdogDefault() > 0)
+        wd.emplace(jobWatchdogDefault());
+    if (config_.batched && batchedExecutionDefault() &&
+        ScopedExecutionClamp::batchedAllowed()) {
         return runBatched();
+    }
     return runPerOp();
 }
 
@@ -130,6 +216,7 @@ Machine::runPerOp()
         return best;
     };
 
+    std::uint32_t wdTicker = 0;
     for (;;) {
         Cpu *best = earliest_busy();
         // Let timed sleepers whose deadline has passed (relative to
@@ -157,6 +244,7 @@ Machine::runPerOp()
         best->step();
         ++batchRounds_;
         ++batchOps_;
+        watchdogPoll(wdTicker, 0xFFF, best->now());
     }
     return maxTime();
 }
@@ -175,7 +263,8 @@ Machine::runPerOp()
 Tick
 Machine::runBatched()
 {
-    const bool sb = config_.superblocks && superblockExecutionDefault();
+    const bool sb = config_.superblocks && superblockExecutionDefault() &&
+                    ScopedExecutionClamp::superblocksAllowed();
     for (auto &cpu : cpus_)
         cpu->setSuperblocksEnabled(sb);
     // (now, id)-lexicographic order; strict-weak, heap comparator is
@@ -196,6 +285,7 @@ Machine::runBatched()
     };
     rebuild();
 
+    std::uint32_t wdTicker = 0;
     for (;;) {
         Cpu *best = heap.empty() ? nullptr : heap.front();
         // Poll timing matches runPerOp: global time is the earliest
@@ -240,6 +330,7 @@ Machine::runBatched()
             bound, nextPollAt_, config_.hardLimit, batchMaxOps);
         ++batchRounds_;
         batchOps_ += res.ops;
+        watchdogPoll(wdTicker, 0xFF, best->now());
 
         if (res.interacted || best->idle()) {
             // Kernel touched the schedule (wakes, switches, exits,

@@ -9,8 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "analysis/bundle.hh"
+#include "fault/plan.hh"
+#include "guard/sentinel.hh"
 #include "os/sysno.hh"
 #include "pec/pec.hh"
 #include "sim/machine.hh"
@@ -156,6 +160,108 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
                          [](const auto &info) {
                              return "s" + std::to_string(info.param);
                          });
+
+// ---------------------------------------------------------------------
+// Faulted chaos: replay refusal and sentinel quarantine
+// ---------------------------------------------------------------------
+
+/**
+ * Flat-memory spin (forms superblocks) with an optional fault plan,
+ * run through SimBundle::run so sentinel probes hook in. Returns the
+ * replay count so refusal is directly observable.
+ */
+struct SpinRun
+{
+    std::uint64_t iters = 0;
+    std::uint64_t opsReplayed = 0;
+};
+
+SpinRun
+runFaultedSpin(const std::string &faults)
+{
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(1)
+                              .flatMemory()
+                              .seed(9)
+                              .build());
+    std::optional<fault::PlanController> ctl;
+    if (!faults.empty()) {
+        fault::Plan plan;
+        std::string err;
+        EXPECT_TRUE(fault::Plan::parse(faults, plan, err)) << err;
+        ctl.emplace(b.machine(), std::move(plan));
+        b.machine().setFaults(&*ctl);
+    }
+    SpinRun out;
+    b.kernel().spawn("spin", [&](Guest &g) -> Task<void> {
+        while (!g.shouldStop()) {
+            co_await g.load(0x8000 + (out.iters % 256) * 64);
+            co_await g.compute(2);
+            ++out.iters;
+        }
+        co_return;
+    });
+    b.run(300'000);
+    out.opsReplayed = b.machine().superblockStats().opsReplayed;
+    b.machine().setFaults(nullptr);
+    return out;
+}
+
+TEST(ChaosFaults, ArmedNonReplayPlansForceReplayRefusal)
+{
+    // Clean run: the spin loop retires through superblock replay.
+    const SpinRun clean = runFaultedSpin("");
+    EXPECT_GT(clean.opsReplayed, 0u);
+    // Any armed plan that needs the per-op seams makes the machine
+    // refuse replay outright — the faults would otherwise be skipped.
+    const SpinRun refused =
+        runFaultedSpin("stall-syscall:nr=0:ticks=100:nth=50");
+    EXPECT_EQ(refused.opsReplayed, 0u);
+    EXPECT_EQ(refused.iters, clean.iters);
+    // A pure corrupt-replay plan is the one armed plan that keeps the
+    // cache on (corrupting it is the point).
+    const SpinRun corrupting = runFaultedSpin("corrupt-replay:nth=0");
+    EXPECT_GT(corrupting.opsReplayed, 0u);
+}
+
+TEST(ChaosFaults, SentinelQuarantinesAndDegradedRunMatchesOracle)
+{
+    guard::SentinelOptions so;
+    so.enabled = true;
+    so.windowDiv = 4;
+    so.reportPath.clear();
+    guard::Sentinel sentinel(so);
+    const auto probe = [](guard::ExecMode m, std::uint64_t div) {
+        guard::ModeScope ms(m);
+        guard::ProbeScope ps(div);
+        runFaultedSpin("corrupt-replay:nth=0");
+        return ps.fingerprint();
+    };
+    // The corrupted replay path diverges from the per-op oracle and
+    // gets quarantined.
+    ASSERT_TRUE(
+        sentinel.check(0, guard::ExecMode::Superblock, probe));
+    const guard::ExecMode degraded =
+        sentinel.modeFor(guard::ExecMode::Superblock);
+    EXPECT_EQ(degraded, guard::ExecMode::Batched);
+
+    // The degraded run's ledger/PMU fingerprint is identical to the
+    // oracle's: quarantine restores bit-exactness, not just "close".
+    guard::Fingerprint deg, oracle;
+    {
+        guard::ModeScope ms(degraded);
+        guard::ProbeScope ps(1); // full horizon
+        runFaultedSpin("corrupt-replay:nth=0");
+        deg = ps.fingerprint();
+    }
+    {
+        guard::ModeScope ms(guard::ExecMode::PerOp);
+        guard::ProbeScope ps(1);
+        runFaultedSpin("corrupt-replay:nth=0");
+        oracle = ps.fingerprint();
+    }
+    EXPECT_TRUE(deg == oracle);
+}
 
 } // namespace
 } // namespace limit

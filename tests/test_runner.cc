@@ -12,13 +12,20 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/campaign.hh"
 #include "analysis/runner.hh"
 #include "os/sysno.hh"
+#include "sim/machine.hh"
 #include "sim/pmu.hh"
 
 namespace limit {
@@ -108,7 +115,34 @@ TEST(ParallelRunnerTest, ResultsArriveInSubmissionOrder)
         EXPECT_EQ(out[i], i);
 }
 
-TEST(ParallelRunnerTest, LowestIndexExceptionWinsAndPoolSurvives)
+TEST(ParallelRunnerTest, SingleFailureRethrowsTheOriginalException)
+{
+    ParallelRunner pool(4);
+    std::atomic<unsigned> ran{0};
+    try {
+        pool.map(8, [&](std::size_t i) -> int {
+            ran.fetch_add(1);
+            if (i == 2)
+                throw std::invalid_argument("job two");
+            return static_cast<int>(i);
+        });
+        FAIL() << "map should have rethrown";
+    } catch (const std::invalid_argument &e) {
+        // One failure: the original exception type and message
+        // survive untouched.
+        EXPECT_STREQ(e.what(), "job two");
+    }
+    // Workers drained the whole queue despite the failure...
+    EXPECT_EQ(ran.load(), 8u);
+    EXPECT_EQ(pool.failedJobs(), 1u);
+    // ...and the pool is still usable afterwards.
+    const auto out = pool.map(4, [](std::size_t i) { return 10 * i; });
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[3], 30u);
+    EXPECT_EQ(pool.failedJobs(), 0u);
+}
+
+TEST(ParallelRunnerTest, MultipleFailuresAggregateIndexAndWhat)
 {
     ParallelRunner pool(4);
     std::atomic<unsigned> ran{0};
@@ -123,11 +157,14 @@ TEST(ParallelRunnerTest, LowestIndexExceptionWinsAndPoolSurvives)
         });
         FAIL() << "map should have rethrown";
     } catch (const std::runtime_error &e) {
-        EXPECT_STREQ(e.what(), "job two");
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("2 of 8 jobs failed"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("job 2: job two"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("job 5: job five"), std::string::npos) << msg;
     }
-    // Workers drained the whole queue despite the failures...
     EXPECT_EQ(ran.load(), 8u);
-    // ...and the pool is still usable afterwards.
+    EXPECT_EQ(pool.failedJobs(), 2u);
     const auto out = pool.map(4, [](std::size_t i) { return 10 * i; });
     ASSERT_EQ(out.size(), 4u);
     EXPECT_EQ(out[3], 30u);
@@ -171,6 +208,227 @@ TEST(BenchArgsTest, DefaultsAndOverrides)
         EXPECT_EQ(a.seeds, 5u);
         EXPECT_EQ(a.jobs, 0u);
     }
+}
+
+TEST(BenchArgsTest, RobustnessFlagsParse)
+{
+    char prog[] = "bench";
+    char f1[] = "--job-timeout", v1[] = "2.5";
+    char f2[] = "--journal", v2[] = "/tmp/limitpp_args.jsonl";
+    char f3[] = "--resume";
+    char f4[] = "--sentinel";
+    char f5[] = "--sentinel-every", v5[] = "4";
+    char *argv[] = {prog, f1, v1, f2, v2, f3, f4, f5, v5};
+    const BenchArgs a = analysis::parseBenchArgs(9, argv, {});
+    EXPECT_DOUBLE_EQ(a.jobTimeoutSec, 2.5);
+    EXPECT_EQ(a.journal, "/tmp/limitpp_args.jsonl");
+    EXPECT_TRUE(a.resume);
+    EXPECT_TRUE(a.sentinel);
+    EXPECT_EQ(a.sentinelEvery, 4u);
+    // parseBenchArgs propagates --job-timeout into the process-wide
+    // watchdog default; undo so other tests run unwatched.
+    EXPECT_DOUBLE_EQ(sim::jobWatchdogDefault(), 2.5);
+    sim::setJobWatchdogDefault(0);
+}
+
+// ---------------------------------------------------------------------
+// Campaign: durable, self-healing fan-out
+// ---------------------------------------------------------------------
+
+TEST(CampaignTest, HexfloatCodecRoundTripsBitExactly)
+{
+    const double values[] = {0.0,     -0.0,   1.0,    0.1,
+                             1.0 / 3, 5e-324, 1e308,  -123.456,
+                             1.5e-300, 170760.0};
+    for (const double v : values) {
+        double back = 0;
+        ASSERT_TRUE(analysis::decodeDouble(analysis::encodeDouble(v),
+                                           back))
+            << v;
+        EXPECT_EQ(std::memcmp(&v, &back, sizeof(v)), 0) << v;
+    }
+    double out = 0;
+    EXPECT_FALSE(analysis::decodeDouble("", out));
+    EXPECT_FALSE(analysis::decodeDouble("0x1p+1 trailing", out));
+}
+
+namespace campaign_jobs {
+
+/** Deterministic journalable job: hexfloat of a seed-derived value. */
+std::string
+job(std::size_t i)
+{
+    return analysis::encodeDouble(1.0 / (3.0 + static_cast<double>(i)));
+}
+
+} // namespace campaign_jobs
+
+TEST(CampaignTest, JournalRoundTripAcrossWorkerCounts)
+{
+    const std::string path =
+        ::testing::TempDir() + "limitpp_journal_roundtrip.jsonl";
+    std::remove(path.c_str());
+
+    analysis::CampaignOptions opts;
+    opts.jobs = 1;
+    opts.journalPath = path;
+    opts.configFingerprint = analysis::configHash("journal-roundtrip");
+    const analysis::CampaignResult first =
+        analysis::Campaign(opts).run(6, campaign_jobs::job);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.resumedJobs, 0u);
+
+    // The journal self-describes.
+    std::ifstream in(path);
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_NE(header.find("limitpp-journal-v1"), std::string::npos);
+    EXPECT_NE(header.find(opts.configFingerprint), std::string::npos);
+
+    // Resume with a different worker count: every job comes from the
+    // journal, values bit-identical, nothing re-runs.
+    opts.jobs = 4;
+    opts.resume = true;
+    std::atomic<unsigned> fresh{0};
+    const analysis::CampaignResult second =
+        analysis::Campaign(opts).run(6, [&](std::size_t i) {
+            fresh.fetch_add(1);
+            return campaign_jobs::job(i);
+        });
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.resumedJobs, 6u);
+    EXPECT_EQ(fresh.load(), 0u);
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_TRUE(second.jobs[i].fromJournal) << i;
+        EXPECT_EQ(second.jobs[i].value, first.jobs[i].value) << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CampaignTest, PartialJournalResumeRunsOnlyTheMissingJobs)
+{
+    const std::string path =
+        ::testing::TempDir() + "limitpp_journal_partial.jsonl";
+    std::remove(path.c_str());
+
+    analysis::CampaignOptions opts;
+    opts.jobs = 1;
+    opts.journalPath = path;
+    opts.configFingerprint = analysis::configHash("journal-partial");
+    const analysis::CampaignResult full =
+        analysis::Campaign(opts).run(6, campaign_jobs::job);
+    ASSERT_TRUE(full.ok());
+
+    // Simulate a SIGKILL after three completed jobs: keep the header
+    // plus the first three records, tear the rest off — including a
+    // torn half-record, which resume must refuse to trust.
+    {
+        std::ifstream in(path);
+        std::string line, kept;
+        for (int i = 0; i < 4 && std::getline(in, line); ++i)
+            kept += line + "\n";
+        in.close();
+        kept += "{\"rec\":\"job\",\"config\":\"torn"; // no terminator
+        std::ofstream out(path, std::ios::trunc | std::ios::binary);
+        out << kept;
+    }
+
+    opts.resume = true;
+    std::atomic<unsigned> fresh{0};
+    const analysis::CampaignResult resumed =
+        analysis::Campaign(opts).run(6, [&](std::size_t i) {
+            fresh.fetch_add(1);
+            return campaign_jobs::job(i);
+        });
+    ASSERT_TRUE(resumed.ok());
+    EXPECT_EQ(resumed.resumedJobs, 3u);
+    EXPECT_EQ(fresh.load(), 3u);
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(resumed.jobs[i].fromJournal, i < 3) << i;
+        EXPECT_EQ(resumed.jobs[i].value, full.jobs[i].value) << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CampaignTest, MismatchedConfigFingerprintIgnoresTheJournal)
+{
+    const std::string path =
+        ::testing::TempDir() + "limitpp_journal_config.jsonl";
+    std::remove(path.c_str());
+
+    analysis::CampaignOptions opts;
+    opts.journalPath = path;
+    opts.configFingerprint = analysis::configHash("sweep-A");
+    ASSERT_TRUE(analysis::Campaign(opts).run(3, campaign_jobs::job).ok());
+
+    // A journal from a different sweep must not poison this one.
+    opts.configFingerprint = analysis::configHash("sweep-B");
+    opts.resume = true;
+    std::atomic<unsigned> fresh{0};
+    const analysis::CampaignResult r =
+        analysis::Campaign(opts).run(3, [&](std::size_t i) {
+            fresh.fetch_add(1);
+            return campaign_jobs::job(i);
+        });
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.resumedJobs, 0u);
+    EXPECT_EQ(fresh.load(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignTest, WatchdogTimesOutRunawayJobsWithoutWedging)
+{
+    analysis::CampaignOptions opts;
+    opts.jobTimeoutSec = 0.05;
+    const analysis::CampaignResult r = analysis::Campaign(opts).run(
+        2, [](std::size_t i) -> std::string {
+            if (i == 0) {
+                // A guest that never finishes and a run with no stop
+                // horizon: without the watchdog this wedges forever.
+                SimBundle b(
+                    BundleOptions::builder().cores(1).build());
+                b.kernel().spawn("wedge", [](Guest &g) -> Task<void> {
+                    for (;;)
+                        co_await g.compute(50);
+                });
+                b.machine().run();
+            }
+            return "done";
+        });
+    // The runaway job timed out on both rungs and was marked failed...
+    EXPECT_EQ(r.failedJobs, 1u);
+    EXPECT_TRUE(r.jobs[0].failed);
+    EXPECT_EQ(r.jobs[0].attempts, 2u);
+    EXPECT_NE(r.jobs[0].error.find("timed out"), std::string::npos)
+        << r.jobs[0].error;
+    // ...without taking the rest of the fan-out down with it.
+    EXPECT_FALSE(r.jobs[1].failed);
+    EXPECT_EQ(r.jobs[1].value, "done");
+    EXPECT_FALSE(r.interrupted);
+}
+
+TEST(CampaignTest, SigintDrainsInFlightWorkAndSkipsTheRest)
+{
+    analysis::detail::resetSigintDrain();
+    analysis::CampaignOptions opts; // jobs = 1: deterministic skip set
+    const analysis::CampaignResult r = analysis::Campaign(opts).run(
+        5, [](std::size_t i) -> std::string {
+            if (i == 1)
+                std::raise(SIGINT); // first ^C: drain, don't kill
+            return "v" + std::to_string(i);
+        });
+    EXPECT_TRUE(r.interrupted);
+    // The in-flight job still finished and kept its value...
+    EXPECT_EQ(r.jobs[0].value, "v0");
+    EXPECT_EQ(r.jobs[1].value, "v1");
+    // ...and every unstarted job was skipped, not run.
+    EXPECT_EQ(r.skippedJobs, 3u);
+    for (std::size_t i = 2; i < 5; ++i) {
+        EXPECT_TRUE(r.jobs[i].skipped) << i;
+        EXPECT_NE(r.jobs[i].error.find("SIGINT"), std::string::npos);
+    }
+    EXPECT_FALSE(r.ok());
+    analysis::detail::resetSigintDrain();
 }
 
 /**
