@@ -72,6 +72,8 @@ runMethod(const baseline::SourceSpec &spec, std::uint64_t seed,
             .cores(1)
             .seed(1 + seed)
             .traceCapacity(trace ? trace->captureCap() : 0)
+            .timelineInterval(
+                trace ? trace->captureTimelineInterval() : 0)
             .build());
     baseline::SourceInstance inst =
         spec.make(b.kernel(), 0, sim::EventType::Instructions, true,
@@ -132,7 +134,7 @@ main(int argc, char **argv)
                 sim::ticksToNs(rows[4].cycles) / pec_ns);
 
     // Dedicated traced re-run of the headline method.
-    if (args.tracing() || args.profile)
+    if (args.instrumented())
         runMethod(methods[0], 0, &args);
     return 0;
 }

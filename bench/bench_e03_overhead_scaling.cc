@@ -46,6 +46,8 @@ runOnce(const baseline::SourceSpec *spec, unsigned read_every,
             .cores(4)
             .seed(1 + seed)
             .traceCapacity(trace ? trace->captureCap() : 0)
+            .timelineInterval(
+                trace ? trace->captureTimelineInterval() : 0)
             .build());
 
     baseline::SourceInstance inst;
@@ -177,7 +179,7 @@ main(int argc, char **argv)
 
     // Dedicated traced re-run: densest PEC instrumentation, so the
     // timeline carries syscall, futex and switch traffic.
-    if (args.tracing() || args.profile)
+    if (args.instrumented())
         runOnce(methods[0], 1, 1, 0, &args);
     return 0;
 }

@@ -62,6 +62,8 @@ runSampled(std::uint64_t segment, std::uint64_t period,
             .pmuWidth(30)
             .seed(seed)
             .traceCapacity(trace ? trace->captureCap() : 0)
+            .timelineInterval(
+                trace ? trace->captureTimelineInterval() : 0)
             .build());
     baseline::SamplingProfiler prof(b.kernel(), 0,
                                     sim::EventType::Instructions,
@@ -184,7 +186,7 @@ main(int argc, char **argv)
 
     // Dedicated traced re-run of one sampling point — the timeline
     // shows the sampling PMIs landing against the region boundaries.
-    if (args.tracing() || args.profile)
+    if (args.instrumented())
         runSampled(1000, 4'000, 11, &args);
     return 0;
 }

@@ -78,11 +78,12 @@ main(int argc, char **argv)
     // One extra dedicated run with the tracer attached (and counters
     // narrow enough to wrap, so overflow PMIs show up in the
     // timeline); tables above stay bit-identical to untraced runs.
-    if (args.tracing()) {
+    if (args.tracing() || args.timelineOn()) {
         benchsync::TraceSpec tspec;
         tspec.path = args.trace;
         tspec.capacity = args.traceCap;
-        runApp(apps[0], ticks, 0, &tspec, &args);
+        runApp(apps[0], ticks, 0, args.tracing() ? &tspec : nullptr,
+               &args, "bench_e05_sync_study");
     }
     analysis::writeProfile(report, args, "bench_e05_sync_study");
 

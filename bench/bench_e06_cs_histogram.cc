@@ -73,11 +73,12 @@ main(int argc, char **argv)
         }
         std::puts("");
     }
-    if (args.tracing()) {
+    if (args.tracing() || args.timelineOn()) {
         benchsync::TraceSpec tspec;
         tspec.path = args.trace;
         tspec.capacity = args.traceCap;
-        runApp(apps[0], ticks, 0, &tspec, &args);
+        runApp(apps[0], ticks, 0, args.tracing() ? &tspec : nullptr,
+               &args, "bench_e06_cs_histogram");
     }
     analysis::writeProfile(report, args, "bench_e06_cs_histogram");
 

@@ -44,18 +44,22 @@ struct Breakdown
 /**
  * Run `which` for `ticks`, measuring both modes via PEC counters.
  * `trace_cap` attaches a tracer (populating the profile's syscall
- * latency histograms); `trace_path`, when non-null, also writes the
- * Chrome-trace JSON.
+ * latency histograms); `artifacts`, when non-null, marks this the
+ * dedicated representative run and writes the --trace / --timeline
+ * files it requests.
  */
 Breakdown
 run(const std::string &which, sim::Tick ticks, std::uint64_t seed,
-    unsigned trace_cap = 0, const std::string *trace_path = nullptr)
+    unsigned trace_cap = 0,
+    const analysis::BenchArgs *artifacts = nullptr)
 {
     analysis::SimBundle b(
         analysis::BundleOptions::builder()
             .cores(4)
             .seed(1 + seed)
             .traceCapacity(trace_cap)
+            .timelineInterval(
+                artifacts ? artifacts->captureTimelineInterval() : 0)
             .build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Instructions, true, false);
@@ -104,8 +108,14 @@ run(const std::string &which, sim::Tick ticks, std::uint64_t seed,
                    : std::vector<trace::TraceRecord>{});
     out.pecUser = session.processTotal(0);
     out.pecKernel = session.processTotal(1);
-    if (trace_path)
-        analysis::writeTraceReport(b, *trace_path);
+    if (artifacts) {
+        if (b.timeline() != nullptr)
+            b.timeline()->finalize(b.machine().maxTime());
+        if (artifacts->tracing())
+            analysis::writeTraceReport(b, artifacts->trace);
+        analysis::writeTimeline(b, *artifacts,
+                                "bench_e07_kernel_user");
+    }
     return out;
 }
 
@@ -159,8 +169,8 @@ main(int argc, char **argv)
               "of server behaviour. Drift shows the virtualized "
               "counters track the exact ledger closely.");
 
-    if (args.tracing())
-        run(workloads[0], ticks, 0, args.traceCap, &args.trace);
+    if (args.tracing() || args.timelineOn())
+        run(workloads[0], ticks, 0, args.captureCap(), &args);
     limit::analysis::writeProfile(report, args, "bench_e07_kernel_user");
     return 0;
 }

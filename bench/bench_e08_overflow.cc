@@ -47,6 +47,8 @@ run(pec::OverflowPolicy policy, unsigned width, std::uint64_t seed,
             .pmuWidth(width)
             .seed(1 + seed)
             .traceCapacity(trace ? trace->captureCap() : 0)
+            .timelineInterval(
+                trace ? trace->captureTimelineInterval() : 0)
             .build());
     pec::PecConfig pc;
     pc.policy = policy;
@@ -153,7 +155,7 @@ main(int argc, char **argv)
     // Dedicated traced re-run: a 12-bit counter under the kernel
     // fix-up wraps constantly, so the timeline is dense with overflow
     // PMIs and fix-up events.
-    if (args.tracing() || args.profile)
+    if (args.instrumented())
         run(OverflowPolicy::KernelFixup, 12, 0, &args);
     return 0;
 }

@@ -109,6 +109,8 @@ switchCost(bool tagged, bool virtualized, std::uint64_t seed,
             .virtualizeCounters(virtualized)
             .seed(1 + seed)
             .traceCapacity(trace ? trace->captureCap() : 0)
+            .timelineInterval(
+                trace ? trace->captureTimelineInterval() : 0)
             .build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Cycles);
@@ -230,7 +232,7 @@ main(int argc, char **argv)
 
     // Dedicated traced re-run: software save/restore of a full
     // counter set — every yield shows switch + save + restore events.
-    if (args.tracing() || args.profile)
+    if (args.instrumented())
         switchCost(false, true, 0, &args);
     return 0;
 }

@@ -40,6 +40,8 @@ switchCostWithCounters(unsigned counters, std::uint64_t seed,
             .pmuCounters(8)
             .seed(1 + seed)
             .traceCapacity(trace ? trace->captureCap() : 0)
+            .timelineInterval(
+                trace ? trace->captureTimelineInterval() : 0)
             .build());
     pec::PecSession session(b.kernel());
     const sim::EventType evs[8] = {
@@ -209,7 +211,7 @@ main(int argc, char **argv)
               "from userspace.");
 
     // Dedicated traced re-run: the full 8-counter save/restore set.
-    if (args.tracing() || args.profile)
+    if (args.instrumented())
         switchCostWithCounters(8, 0, &args);
     return 0;
 }

@@ -52,6 +52,8 @@ characterize(const std::string &which, std::uint64_t seed,
             .quantum(1'000'000)
             .seed(1 + seed)
             .traceCapacity(trace ? trace->captureCap() : 0)
+            .timelineInterval(
+                trace ? trace->captureTimelineInterval() : 0)
             .build());
 
     std::unique_ptr<workloads::OltpServer> oltp;
@@ -189,7 +191,7 @@ main(int argc, char **argv)
               "that cloud-era workloads need their own "
               "characterization.");
 
-    if (args.tracing() || args.profile)
+    if (args.instrumented())
         characterize(names[0], 0, &args);
     return 0;
 }

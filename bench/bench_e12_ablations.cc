@@ -52,6 +52,8 @@ runQuantum(sim::Tick quantum, std::uint64_t seed,
             .quantum(quantum)
             .seed(1 + seed)
             .traceCapacity(trace ? trace->captureCap() : 0)
+            .timelineInterval(
+                trace ? trace->captureTimelineInterval() : 0)
             .build());
     pec::PecSession s(b.kernel());
     s.addEvent(0, sim::EventType::Cycles);
@@ -313,7 +315,7 @@ main(int argc, char **argv)
 
     // Dedicated traced re-run: the pathological quantum, so the
     // timeline is wall-to-wall preemptions and counter save/restore.
-    if (args.tracing() || args.profile)
+    if (args.instrumented())
         runQuantum(25'000, 0, &args);
     return 0;
 }

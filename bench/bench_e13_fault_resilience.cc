@@ -105,6 +105,8 @@ run(pec::OverflowPolicy policy, const fault::Plan &plan,
             .quantum(kQuantum)
             .seed(1 + seed)
             .traceCapacity(trace ? trace->captureCap() : 0)
+            .timelineInterval(
+                trace ? trace->captureTimelineInterval() : 0)
             .build());
     pec::PecConfig pc;
     pc.policy = policy;
@@ -309,7 +311,7 @@ main(int argc, char **argv)
     // Traced re-run: naive-sum with the overflow landing mid-read is
     // the paper's motivating interleaving — the timeline shows the
     // injection record between the accumulator load and the PMI.
-    if (args.tracing() || args.profile) {
+    if (args.instrumented()) {
         run(pec::OverflowPolicy::NaiveSum,
             planOf("overflow-read:step=1:margin=1:nth=2"), 0, &args);
     }

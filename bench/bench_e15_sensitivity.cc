@@ -91,27 +91,40 @@ class ScopedFaults
 /**
  * Stride-64 sweep over a 24 KiB buffer (384 lines): resident in a
  * 32 KiB L1D, a guaranteed miss-per-access on the planted 2 KiB one.
- * Work = memory accesses completed in 2M simulated cycles.
+ * Work = memory accesses completed in 2M simulated cycles. Each full
+ * sweep is wrapped in a calibrated PEC region, so the lattice carries
+ * exact per-sweep cycle attribution through Measurement::metrics —
+ * the region instrumentation is identical at every lattice point, so
+ * rankings are unperturbed. A non-null `artifacts` marks this the
+ * dedicated representative run and writes the --timeline artifact.
  */
 Measurement
-streamWorkload(const BundleOptions &base, std::uint64_t seed)
+streamWorkload(const BundleOptions &base, std::uint64_t seed,
+               const analysis::BenchArgs *artifacts = nullptr)
 {
     analysis::SimBundle b(
         BundleOptions::Builder::from(base).seed(seed).build());
     ScopedFaults faults(b);
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Cycles, true, true);
+    pec::RegionProfilerConfig rc;
+    rc.counters = {0};
+    pec::RegionProfiler rprof(session, rc);
+    constexpr sim::RegionId sweepRegion = 1;
 
     constexpr sim::Addr bufBase = 0x10'0000;
     constexpr unsigned lines = 384; // 24 KiB of 64-byte lines
     std::uint64_t accesses = 0;
     b.kernel().spawn("stream", [&](sim::Guest &g) -> sim::Task<void> {
+        co_await rprof.calibrate(g);
         while (!g.shouldStop()) {
+            co_await rprof.enter(g, sweepRegion);
             for (unsigned i = 0; i < lines && !g.shouldStop(); ++i) {
                 co_await g.load(bufBase + i * 64);
                 co_await g.compute(1);
                 ++accesses;
             }
+            co_await rprof.exit(g, sweepRegion);
         }
         co_return;
     });
@@ -132,6 +145,19 @@ streamWorkload(const BundleOptions &base, std::uint64_t seed)
         : static_cast<double>(analysis::totalEvent(
               b.kernel(), sim::EventType::Cycles)) /
             static_cast<double>(accesses);
+    // Exact region attribution (overhead-subtracted): completed
+    // sweeps and their mean cycle cost ride the lattice so profdiff
+    // can compare them across runs. The sweep cut short by the stop
+    // request stays open and is deliberately not folded.
+    const pec::RegionStats &rs = rprof.stats(sweepRegion);
+    m.metrics["region.sweep.entries"] =
+        static_cast<double>(rs.entries);
+    m.metrics["region.sweep.cycles_mean"] = rs.mean(0);
+    m.metrics["region.sweep.open_visits"] =
+        static_cast<double>(rprof.openRegions().size());
+    if (artifacts)
+        analysis::writeTimeline(b, *artifacts,
+                                "bench_e15_sensitivity");
     return m;
 }
 
@@ -227,6 +253,7 @@ main(int argc, char **argv)
         o.jobTimeoutSec = args.jobTimeoutSec;
         o.journalPath = args.journal;
         o.resume = args.resume;
+        o.statusPath = args.statusFile;
         o.sentinel.enabled = args.sentinel;
         o.sentinel.sampleEvery = args.sentinelEvery;
     };
@@ -255,8 +282,12 @@ main(int argc, char **argv)
             opts.seeds = args.seeds;
             opts.jobs = args.jobs;
             robustness(opts);
-            analysis::sensitivity::analyzeInto(report, space,
-                                               streamWorkload, opts);
+            analysis::sensitivity::analyzeInto(
+                report, space,
+                [](const BundleOptions &o, std::uint64_t s) {
+                    return streamWorkload(o, s);
+                },
+                opts);
         }
 
         // --- Scenario 2: narrowed counter on an exact-read loop ------
@@ -323,6 +354,19 @@ main(int argc, char **argv)
                     "%.0f)\n",
                     s.name.c_str(), top.axis.c_str(), top.score,
                     s.workMetric.c_str(), s.baselineWork);
+    }
+
+    // Dedicated instrumented run (stream scenario's planted-bottleneck
+    // baseline, lattice-independent seed) for the --timeline artifact;
+    // the tables above are untouched by it.
+    if (args.timelineOn()) {
+        const BundleOptions rep =
+            BundleOptions::builder()
+                .cores(1)
+                .l1Size(2 * 1024)
+                .timelineInterval(args.captureTimelineInterval())
+                .build();
+        streamWorkload(rep, 1, &args);
     }
 
     analysis::writeProfile(report, args, "bench_e15_sensitivity");

@@ -100,7 +100,7 @@ struct Throughput
 /** One-core compute kernel: the tight simulation hot path. */
 Throughput
 runStream(std::uint64_t seed, bool batched = true,
-          bool superblocks = true)
+          bool superblocks = true, unsigned timeline_interval = 0)
 {
     const double t0 = threadCpuSec();
     analysis::SimBundle b(analysis::BundleOptions::builder()
@@ -108,6 +108,7 @@ runStream(std::uint64_t seed, bool batched = true,
                               .seed(1 + seed)
                               .batched(batched)
                               .superblocks(superblocks)
+                              .timelineInterval(timeline_interval)
                               .build());
     pec::PecSession session(b.kernel());
     session.addEvent(0, sim::EventType::Cycles, true, true);
@@ -312,6 +313,16 @@ main(int argc, char **argv)
     });
     const Throughput oltp = best(args.seeds,
                                  [](unsigned i) { return runOltp(i); });
+    // Hot path with the exact timeline recorder attached at the
+    // default --timeline-interval: the spread against the plain stream
+    // row is the full price of leaving --timeline on, and the perf
+    // gate holds it under 5% (scripts/check_selfperf.py). With the
+    // recorder detached the hook is a single predicted-not-taken
+    // branch, so the plain row pays nothing.
+    const Throughput tl = best(args.seeds, [](unsigned i) {
+        return runStream(i, /*batched=*/true, /*superblocks=*/true,
+                         /*timeline_interval=*/65536);
+    });
 
     // Experiment-level scaling: `jobs` independent stream simulations
     // driven through the same runner the bench suite uses. Each job
@@ -373,6 +384,9 @@ main(int argc, char **argv)
     const double lat_scaling = jobs * (latN_pps / lat1_pps);
 
     const double stream_mips = stream.instr / 1e6 / stream.hostSec;
+    const double tl_mips = tl.instr / 1e6 / tl.hostSec;
+    const double timeline_overhead_pct =
+        tl_mips == 0 ? 0 : 100.0 * (stream_mips / tl_mips - 1.0);
     const double nobatch_mips = nobatch.instr / 1e6 / nobatch.hostSec;
     const double nosb_mips = nosb.instr / 1e6 / nosb.hostSec;
     const double oltp_mips = oltp.instr / 1e6 / oltp.hostSec;
@@ -434,6 +448,9 @@ main(int argc, char **argv)
     std::printf("sensitivity lattice: %.1f lattice runs/CPU-s serial, "
                 "%.1f at %u jobs (scaling %.2fx)\n",
                 lat1_pps, latN_pps, jobs, lat_scaling);
+    std::printf("timeline recorder: %.2f%% overhead on stream at the "
+                "default 65536-tick interval (%.1f M guest-instr/s)\n",
+                timeline_overhead_pct, tl_mips);
     std::printf("divergence sentinel: %.2f%% probe overhead on stream "
                 "(%llu checks, every job, 1/%llu window)\n",
                 sentinel_overhead_pct,
@@ -475,6 +492,7 @@ main(int argc, char **argv)
             "  \"parallel_scaling_x\": %.3f,\n"
             "  \"sensitivity_points_per_sec\": %.2f,\n"
             "  \"sensitivity_scaling_x\": %.3f,\n"
+            "  \"timeline_overhead_pct\": %.2f,\n"
             "  \"sentinel_overhead_pct\": %.2f,\n"
             "  \"pec_read_p50_cycles\": %llu,\n"
             "  \"pec_read_p99_cycles\": %llu,\n"
@@ -486,7 +504,7 @@ main(int argc, char **argv)
             stream_mips, nosb_mips, sb_speedup, sb_hit_rate,
             oltp_mips, oltp.cycles / 1e6 / oltp.hostSec, jobs,
             par_mips, scaling, latN_pps, lat_scaling,
-            sentinel_overhead_pct,
+            timeline_overhead_pct, sentinel_overhead_pct,
             static_cast<unsigned long long>(read_p50),
             static_cast<unsigned long long>(read_p99),
             static_cast<unsigned long long>(read_p999));

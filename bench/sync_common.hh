@@ -19,6 +19,7 @@
 
 #include "analysis/args.hh"
 #include "analysis/bundle.hh"
+#include "analysis/profile_report.hh"
 #include "analysis/trace_report.hh"
 #include "base/logging.hh"
 #include "fault/plan.hh"
@@ -61,16 +62,23 @@ struct SyncRunResult
  * `args` applies the shared bench CLI to the run the same way every
  * other bench does: a --faults plan is installed on the machine
  * (--no-batch/--no-superblock already act through the process-wide
- * execution defaults parseBenchArgs sets).
+ * execution defaults parseBenchArgs sets). A non-null
+ * `artifact_bench` marks this the dedicated representative run: the
+ * timeline recorder attaches when --timeline was given and the
+ * artifact is written under that bench name before returning (per-job
+ * runs pass nullptr so the fan-out stays uninstrumented).
  */
 inline SyncRunResult
 runApp(const std::string &which, sim::Tick ticks, std::uint64_t seed = 0,
        const TraceSpec *tspec = nullptr,
-       const analysis::BenchArgs *args = nullptr)
+       const analysis::BenchArgs *args = nullptr,
+       const char *artifact_bench = nullptr)
 {
     auto ob = analysis::BundleOptions::builder().cores(4).seed(1 + seed);
     if (tspec)
         ob.traceCapacity(tspec->capacity).pmuWidth(tspec->pmuWidth);
+    if (artifact_bench && args)
+        ob.timelineInterval(args->captureTimelineInterval());
     analysis::SimBundle b(ob.build());
 
     // Deterministic fault injection, identical to the --faults
@@ -142,8 +150,12 @@ runApp(const std::string &which, sim::Tick ticks, std::uint64_t seed = 0,
         out.workItems = web->served();
     else
         out.workItems = browser->totalEvents();
+    if (b.timeline() != nullptr)
+        b.timeline()->finalize(b.machine().maxTime());
     if (tspec)
         analysis::writeTraceReport(b, tspec->path);
+    if (artifact_bench && args)
+        analysis::writeTimeline(b, *args, artifact_bench);
     if (fault_controller)
         b.machine().setFaults(nullptr);
     return out;

@@ -21,7 +21,9 @@ usage(const char *prog, const BenchDefaults &defaults,
         "usage: %s [--seeds N] [--jobs N] [--trace FILE] "
         "[--trace-cap N] [--faults SPEC] [--profile] "
         "[--profile-out FILE] [--job-timeout S] [--journal FILE] "
-        "[--resume] [--sentinel] [--sentinel-every N]\n"
+        "[--resume] [--sentinel] [--sentinel-every N] "
+        "[--timeline FILE] [--timeline-interval N] "
+        "[--status-file FILE]\n"
         "  --seeds N      %s (default %u)\n"
         "  --jobs N       host threads for parallel experiment "
         "fan-out; 0 = all hardware threads (default %u)\n"
@@ -53,11 +55,20 @@ usage(const char *prog, const BenchDefaults &defaults,
         "  --sentinel     cross-check sampled jobs against the per-op "
         "oracle and quarantine the fast path on divergence\n"
         "  --sentinel-every N  cross-check every Nth job "
-        "(default 1)\n",
+        "(default 1)\n"
+        "  --timeline FILE  write a limitpp-timeline-v1 JSON of one "
+        "representative run: exact per-core PMU event deltas per "
+        "guest-cycle interval (see docs/TIMELINE.md)\n"
+        "  --timeline-interval N  timeline slice width in guest "
+        "cycles (default %u, minimum 256)\n"
+        "  --status-file FILE  atomically-rewritten campaign "
+        "heartbeat JSON (jobs done/in-flight/retried/quarantined, "
+        "ETA)\n",
         prog,
         what_seeds ? what_seeds
                    : "repetitions averaged per table point",
-        defaults.seeds, defaults.jobs, BenchArgs{}.traceCap);
+        defaults.seeds, defaults.jobs, BenchArgs{}.traceCap,
+        BenchArgs{}.timelineInterval);
     std::exit(exit_code);
 }
 
@@ -216,6 +227,34 @@ tryParseBenchArgs(int argc, char **argv, BenchDefaults defaults)
                 p.error = "--sentinel-every must be >= 1";
                 return p;
             }
+        } else if ((value = flagValue("--timeline-interval", arg, argc,
+                                      argv, i))) {
+            if (!parseUnsigned("--timeline-interval", value,
+                               p.args.timelineInterval, p.error)) {
+                return p;
+            }
+            // A degenerate interval silently allocates one slice per
+            // few ops — gigabytes on a long run; reject like
+            // --trace-cap 0 rather than letting it limp.
+            if (p.args.timelineInterval < 256) {
+                p.error = "--timeline-interval must be >= 256 "
+                          "guest cycles";
+                return p;
+            }
+        } else if ((value =
+                        flagValue("--timeline", arg, argc, argv, i))) {
+            if (*value == '\0') {
+                p.error = "--timeline needs a file name";
+                return p;
+            }
+            p.args.timeline = value;
+        } else if ((value =
+                        flagValue("--status-file", arg, argc, argv, i))) {
+            if (*value == '\0') {
+                p.error = "--status-file needs a file name";
+                return p;
+            }
+            p.args.statusFile = value;
         } else if (std::strcmp(arg, "--no-batch") == 0) {
             p.args.noBatch = true;
         } else if (std::strcmp(arg, "--no-superblock") == 0) {

@@ -36,6 +36,15 @@
  *                    jobs against the per-op oracle and quarantine
  *                    the fast path on mismatch
  *   --sentinel-every N  cross-check every Nth job (default 1)
+ *   --timeline FILE  write a limitpp-timeline-v1 JSON of one
+ *                    representative run: exact per-core PMU event
+ *                    deltas per guest-cycle interval with phase
+ *                    segmentation (see docs/TIMELINE.md)
+ *   --timeline-interval N  slice width in guest cycles (default
+ *                    65536, minimum 256)
+ *   --status-file F  campaign heartbeat: atomically-rewritten JSON
+ *                    with done/in-flight/retried/quarantined counts
+ *                    and an ETA, for watching long campaigns
  * so `bench_e04 --seeds 16 --jobs 8 --trace e04.json` deepens,
  * parallelizes, and instruments a reproduction run without editing
  * source. Flags also accept the --flag=value spelling. Parsing is
@@ -97,8 +106,22 @@ struct BenchArgs
     bool sentinel = false;
     /** Cross-check every Nth sentinel-routed job (--sentinel-every). */
     unsigned sentinelEvery = 1;
+    /** Timeline artifact path (--timeline); empty = off. */
+    std::string timeline;
+    /** Timeline slice width in guest cycles (--timeline-interval). */
+    unsigned timelineInterval = 65536;
+    /** Campaign heartbeat path (--status-file); empty = off. */
+    std::string statusFile;
 
     bool tracing() const { return !trace.empty(); }
+    bool timelineOn() const { return !timeline.empty(); }
+
+    /** Any artifact that needs the dedicated representative run. */
+    bool
+    instrumented() const
+    {
+        return tracing() || profile || timelineOn();
+    }
 
     /**
      * Trace-ring capacity for the instrumented representative run:
@@ -108,6 +131,15 @@ struct BenchArgs
     unsigned captureCap() const
     {
         return tracing() || profile ? traceCap : 0;
+    }
+
+    /**
+     * Timeline slicing interval for the instrumented representative
+     * run; 0 (recorder off) unless --timeline was given.
+     */
+    unsigned captureTimelineInterval() const
+    {
+        return timelineOn() ? timelineInterval : 0;
     }
 };
 

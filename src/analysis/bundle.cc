@@ -65,6 +65,12 @@ BundleOptions::Builder::build() const
     // explicitly on the per-op loop would silently never replay.
     fatal_if(superblocksExplicit_ && o_.superblocks && !o_.batched,
              "BundleOptions: superblocks(true) requires batched(true)");
+    // A tiny interval allocates one 88-byte slice per handful of ops —
+    // gigabytes over a long run. parseBenchArgs enforces the same
+    // bound on --timeline-interval; this catches programmatic use.
+    fatal_if(o_.timelineInterval != 0 && o_.timelineInterval < 256,
+             "BundleOptions: timelineInterval must be 0 (off) or "
+             ">= 256 guest cycles, got ", o_.timelineInterval);
     if (o_.useCaches) {
         checkCacheGeometry("l1d", o_.hierarchy.l1d);
         checkCacheGeometry("l2", o_.hierarchy.l2);
@@ -107,6 +113,12 @@ SimBundle::SimBundle(const BundleOptions &options)
         tracer_ = std::make_unique<trace::Tracer>(options.cores,
                                                   options.traceCapacity);
         machine_->setTracer(tracer_.get());
+    }
+
+    if (options.timelineInterval > 0) {
+        timeline_ = std::make_unique<sim::TimelineRecorder>(
+            options.timelineInterval);
+        machine_->setTimeline(timeline_.get());
     }
 }
 

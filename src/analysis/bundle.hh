@@ -46,6 +46,13 @@ struct BundleOptions
      */
     unsigned traceCapacity = 0;
     /**
+     * Timeline slice width in guest cycles; 0 builds no recorder.
+     * Nonzero attaches a sim::TimelineRecorder capturing every
+     * core's exact per-interval PMU event deltas (bit-identical
+     * across execution modes; see docs/TIMELINE.md).
+     */
+    unsigned timelineInterval = 0;
+    /**
      * Horizon-batched run loop (sim::MachineConfig::batched). Results
      * are bit-identical either way; false forces the per-op reference
      * scheduler for this bundle even when the process default is
@@ -215,6 +222,12 @@ class BundleOptions::Builder
         o_.traceCapacity = records;
         return *this;
     }
+    /** Timeline slice width in guest cycles (0 = no recorder). */
+    Builder &timelineInterval(unsigned ticks)
+    {
+        o_.timelineInterval = ticks;
+        return *this;
+    }
     /** Per-op reference scheduler instead of horizon batching. */
     Builder &batched(bool on)
     {
@@ -270,6 +283,9 @@ class SimBundle
     /** Trace sink (nullptr unless traceCapacity was set). */
     trace::Tracer *tracer() { return tracer_.get(); }
 
+    /** Timeline recorder (nullptr unless timelineInterval was set). */
+    sim::TimelineRecorder *timeline() { return timeline_.get(); }
+
     /** Per-bundle metrics, harvested into bench JSON output. */
     trace::MetricsRegistry &metrics() { return metrics_; }
 
@@ -287,6 +303,7 @@ class SimBundle
     std::unique_ptr<mem::CacheHierarchy> hierarchy_;
     std::unique_ptr<os::Kernel> kernel_;
     std::unique_ptr<trace::Tracer> tracer_;
+    std::unique_ptr<sim::TimelineRecorder> timeline_;
     trace::MetricsRegistry metrics_;
 };
 

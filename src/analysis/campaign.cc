@@ -333,6 +333,139 @@ class JournalWriter
 
 } // namespace
 
+StatusReporter::StatusReporter(std::string path, std::size_t total_jobs)
+    : path_(std::move(path)), total_(total_jobs),
+      start_(std::chrono::steady_clock::now())
+{
+    maybeWrite(true); // heartbeat exists from the first moment
+}
+
+StatusReporter::~StatusReporter()
+{
+    flush();
+}
+
+void
+StatusReporter::started()
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++inFlight_;
+    maybeWrite(false);
+}
+
+void
+StatusReporter::finished(guard::ExecMode mode, unsigned attempts,
+                         bool failed, bool diverged)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (inFlight_ > 0)
+        --inFlight_;
+    ++done_;
+    if (failed)
+        ++failed_;
+    else
+        ++modes_[static_cast<unsigned>(mode) % modes_.size()];
+    if (attempts > 1)
+        ++retried_;
+    if (diverged)
+        ++quarantined_;
+    maybeWrite(false);
+}
+
+void
+StatusReporter::resumed()
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++resumed_;
+    maybeWrite(false);
+}
+
+void
+StatusReporter::skipped()
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++skipped_;
+    maybeWrite(false);
+}
+
+void
+StatusReporter::flush()
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    maybeWrite(true);
+}
+
+void
+StatusReporter::maybeWrite(bool force)
+{
+    // Called with mutex_ held. Throttled so a storm of sub-millisecond
+    // jobs doesn't turn the heartbeat into an fsync bottleneck.
+    const auto now = std::chrono::steady_clock::now();
+    if (!force && lastWrite_.time_since_epoch().count() != 0 &&
+        now - lastWrite_ < std::chrono::milliseconds(200)) {
+        return;
+    }
+    lastWrite_ = now;
+
+    const double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    const std::size_t accounted = done_ + resumed_ + skipped_;
+    const std::size_t remaining =
+        total_ > accounted ? total_ - accounted : 0;
+    // Fresh-job throughput predicts the rest; resumed/skipped jobs are
+    // free and excluded from the rate. -1 = not estimable yet.
+    const double eta = (done_ > 0 && elapsed > 0)
+        ? static_cast<double>(remaining) *
+            (elapsed / static_cast<double>(done_))
+        : -1.0;
+
+    std::ostringstream os;
+    os << "{\"schema\":\"limitpp-status-v1\""
+       << ",\"total\":" << total_
+       << ",\"done\":" << done_
+       << ",\"in_flight\":" << inFlight_
+       << ",\"resumed\":" << resumed_
+       << ",\"skipped\":" << skipped_
+       << ",\"failed\":" << failed_
+       << ",\"retried\":" << retried_
+       << ",\"quarantined\":" << quarantined_
+       << ",\"modes\":{";
+    for (unsigned m = 0; m < modes_.size(); ++m) {
+        os << (m == 0 ? "" : ",") << '"'
+           << guard::modeName(static_cast<guard::ExecMode>(m))
+           << "\":" << modes_[m];
+    }
+    char num[32];
+    std::snprintf(num, sizeof(num), "%.3f", elapsed);
+    os << "},\"elapsed_sec\":" << num;
+    std::snprintf(num, sizeof(num), "%.3f", eta);
+    os << ",\"eta_sec\":" << num
+       << ",\"finished\":"
+       << (accounted >= total_ && inFlight_ == 0 ? "true" : "false")
+       << "}\n";
+
+    // Write-to-temp + rename: a reader polling the path always sees a
+    // complete document, never a torn one.
+    const std::string tmp = path_ + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr)
+        return; // heartbeat is best-effort; never fail the campaign
+    const std::string text = os.str();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::rename(tmp.c_str(), path_.c_str());
+}
+
 CampaignOptions
 campaignOptions(const BenchArgs &args, std::string configFingerprint)
 {
@@ -341,6 +474,7 @@ campaignOptions(const BenchArgs &args, std::string configFingerprint)
     o.jobTimeoutSec = args.jobTimeoutSec;
     o.journalPath = args.journal;
     o.resume = args.resume;
+    o.statusPath = args.statusFile;
     o.configFingerprint = std::move(configFingerprint);
     o.sentinel.enabled = args.sentinel;
     o.sentinel.sampleEvery =
@@ -511,6 +645,8 @@ Campaign::run(std::size_t count, const JobFn &fn)
     guard::Sentinel *guardPtr =
         options_.sentinel.enabled ? &sentinel : nullptr;
 
+    StatusReporter status(options_.statusPath, count);
+
     SigintDrainScope drain(options_.drainOnSigint);
 
     ParallelRunner pool(options_.jobs);
@@ -524,14 +660,17 @@ Campaign::run(std::size_t count, const JobFn &fn)
             out.mode = it->second.mode;
             out.attempts = it->second.attempts;
             out.fromJournal = true;
+            status.resumed();
             return '\0';
         }
         if (options_.drainOnSigint && detail::sigintDrainRequested()) {
             out.skipped = true;
             out.failed = true;
             out.error = "interrupted (SIGINT drain)";
+            status.skipped();
             return '\0';
         }
+        status.started();
         auto attempt = [&](guard::ExecMode) {
             std::string value = fn(i);
             if (guard::ProbeScope::active() == nullptr)
@@ -539,6 +678,7 @@ Campaign::run(std::size_t count, const JobFn &fn)
         };
         const detail::GuardedOutcome g =
             detail::runGuardedJob(options_, guardPtr, i, attempt);
+        status.finished(g.mode, g.attempts, g.failed, g.diverged);
         out.mode = g.mode;
         out.attempts = g.attempts;
         out.failed = g.failed;

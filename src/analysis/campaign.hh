@@ -33,9 +33,12 @@
 #ifndef LIMIT_ANALYSIS_CAMPAIGN_HH
 #define LIMIT_ANALYSIS_CAMPAIGN_HH
 
+#include <array>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -69,6 +72,8 @@ struct CampaignOptions
     std::string journalPath;
     /** Skip jobs already completed in the journal. */
     bool resume = false;
+    /** Heartbeat status-file path (--status-file); empty = off. */
+    std::string statusPath;
     /**
      * Hex fingerprint of the campaign's full configuration. Journal
      * records carry it, and resume only trusts records whose
@@ -94,6 +99,68 @@ std::string encodeDouble(double v);
 
 /** Decode encodeDouble()'s output; false on malformed text. */
 bool decodeDouble(std::string_view text, double &out);
+
+/**
+ * Live campaign telemetry: an atomically-rewritten (write-to-temp +
+ * rename, so a reader never sees a torn file) JSON heartbeat, schema
+ * limitpp-status-v1, carrying job progress (done / in-flight /
+ * resumed / skipped / failed), robustness activity (retried = needed
+ * more than one attempt, quarantined = sentinel divergence), the
+ * execution-mode ladder position of every accepted run, and a
+ * wall-clock ETA. Writes are throttled plus one final flush from the
+ * destructor, so `watch cat status.json` follows a day-long campaign
+ * with negligible overhead. All methods are thread-safe; a
+ * default-constructed or empty-path reporter is a no-op.
+ */
+class StatusReporter
+{
+  public:
+    StatusReporter() = default;
+    /** Report jobs out of `total_jobs` into `path` (empty = off). */
+    StatusReporter(std::string path, std::size_t total_jobs);
+    /** Final flush (marks the heartbeat finished when all jobs are
+        accounted for). */
+    ~StatusReporter();
+
+    StatusReporter(const StatusReporter &) = delete;
+    StatusReporter &operator=(const StatusReporter &) = delete;
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** A job began executing on a worker. */
+    void started();
+
+    /** A fresh job finished (accepted, or failed after its retry). */
+    void finished(guard::ExecMode mode, unsigned attempts, bool failed,
+                  bool diverged);
+
+    /** A job was satisfied from the journal (--resume). */
+    void resumed();
+
+    /** A job was never started (SIGINT drain). */
+    void skipped();
+
+    /** Write the heartbeat now, bypassing the throttle. */
+    void flush();
+
+  private:
+    void maybeWrite(bool force);
+
+    std::string path_;
+    std::size_t total_ = 0;
+    std::chrono::steady_clock::time_point start_{};
+    mutable std::mutex mutex_;
+    std::chrono::steady_clock::time_point lastWrite_{};
+    std::size_t inFlight_ = 0;
+    std::size_t done_ = 0;
+    std::size_t resumed_ = 0;
+    std::size_t skipped_ = 0;
+    std::size_t failed_ = 0;
+    std::size_t retried_ = 0;
+    std::size_t quarantined_ = 0;
+    /** Accepted runs per guard::ExecMode ladder rung. */
+    std::array<std::size_t, 3> modes_{};
+};
 
 /** What happened to one campaign job. */
 struct JobOutcome
@@ -214,11 +281,13 @@ mapGuarded(const CampaignOptions &options, std::size_t count, Fn fn)
     guard::Sentinel sentinel(options.sentinel);
     guard::Sentinel *guardPtr =
         options.sentinel.enabled ? &sentinel : nullptr;
+    StatusReporter status(options.statusPath, count);
     ParallelRunner pool(options.jobs);
     std::vector<R> out;
     try {
         out = pool.map(count, [&](std::size_t i) -> R {
             std::optional<R> result;
+            status.started();
             auto attempt = [&](guard::ExecMode) {
                 R r = fn(i);
                 if (guard::ProbeScope::active() == nullptr)
@@ -226,6 +295,7 @@ mapGuarded(const CampaignOptions &options, std::size_t count, Fn fn)
             };
             const detail::GuardedOutcome g =
                 detail::runGuardedJob(options, guardPtr, i, attempt);
+            status.finished(g.mode, g.attempts, g.failed, g.diverged);
             if (g.failed)
                 throw std::runtime_error(g.error);
             return std::move(*result);

@@ -5,6 +5,7 @@
 #include "analysis/trace_report.hh"
 #include "guard/sentinel.hh"
 #include "prof/kernel_profile.hh"
+#include "prof/timeline.hh"
 
 namespace limit::analysis {
 
@@ -61,6 +62,43 @@ writeProfile(prof::Report &report, const BenchArgs &args,
 }
 
 bool
+writeTimeline(SimBundle &bundle, const BenchArgs &args,
+              const std::string &bench)
+{
+    if (!args.timelineOn())
+        return true;
+    sim::TimelineRecorder *recorder = bundle.timeline();
+    if (recorder == nullptr) {
+        // The bench forgot to pass captureTimelineInterval() into its
+        // representative BundleOptions — surface it instead of writing
+        // an empty artifact.
+        std::fprintf(stderr,
+                     "timeline: %s built no recorder (bench bug: "
+                     "BundleOptions.timelineInterval not wired)\n",
+                     bench.c_str());
+        return false;
+    }
+    recorder->finalize(bundle.machine().maxTime());
+    prof::Report report;
+    report.schema("limitpp-timeline-v1");
+    // Deliberately no seeds/jobs metadata: the capture comes from the
+    // dedicated representative run, so the artifact must stay
+    // byte-identical across --jobs and execution modes.
+    report.meta("bench", bench);
+    report.meta("interval_ticks",
+                static_cast<std::uint64_t>(recorder->interval()));
+    report.addTimeline(prof::buildTimeline(bench, *recorder));
+    if (!report.writeJson(args.timeline)) {
+        std::fprintf(stderr, "timeline: cannot write %s\n",
+                     args.timeline.c_str());
+        return false;
+    }
+    std::printf("wrote %s\n", args.timeline.c_str());
+    std::fputs(report.timelineAscii().c_str(), stdout);
+    return true;
+}
+
+bool
 writeRunArtifacts(SimBundle &bundle, const BenchArgs &args,
                   prof::Report &report, const std::string &bench)
 {
@@ -69,8 +107,14 @@ writeRunArtifacts(SimBundle &bundle, const BenchArgs &args,
     if (guard::ProbeScope::active() != nullptr)
         return true;
     bool ok = true;
+    // Finalize before the trace export so its counter tracks see
+    // flushed slices (finalize is idempotent; writeTimeline's own
+    // call is then a no-op).
+    if (bundle.timeline() != nullptr)
+        bundle.timeline()->finalize(bundle.machine().maxTime());
     if (args.tracing())
         ok = writeTraceReport(bundle, args.trace) && ok;
+    ok = writeTimeline(bundle, args, bench) && ok;
     if (args.profile)
         annotateReport(report, bundle, args, bench);
     return writeProfile(report, args, bench) && ok;

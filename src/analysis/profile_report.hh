@@ -42,8 +42,23 @@ bool writeProfile(prof::Report &report, const BenchArgs &args,
                   const std::string &bench);
 
 /**
+ * Write the timeline artifact when --timeline was requested:
+ * finalize `bundle`'s recorder, build the phase-segmented section,
+ * write the limitpp-timeline-v1 JSON to --timeline and print the
+ * ASCII heatmap. No seeds/jobs metadata is stamped — the capture
+ * comes from the dedicated representative run, so the artifact is
+ * byte-identical across --jobs and execution modes. Returns false
+ * when the bench requested a timeline but its representative bundle
+ * attached no recorder, or when the write failed.
+ */
+bool writeTimeline(SimBundle &bundle, const BenchArgs &args,
+                   const std::string &bench);
+
+/**
  * Write the run artifacts requested on the command line:
- * --trace FILE → Chrome-trace JSON from `bundle`'s tracer;
+ * --trace FILE → Chrome-trace JSON from `bundle`'s tracer (with
+ * timeline counter tracks when --timeline is also active);
+ * --timeline FILE → limitpp-timeline-v1 JSON;
  * --profile / --profile-out FILE → `report` as profile JSON,
  * annotated with `bundle`'s run metadata.
  * Returns false when a requested artifact could not be written.

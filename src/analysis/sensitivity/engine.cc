@@ -131,6 +131,7 @@ analyze(const ParamSpace &space, const WorkloadFn &workload,
     copts.jobTimeoutSec = options.jobTimeoutSec;
     copts.journalPath = options.journalPath;
     copts.resume = options.resume;
+    copts.statusPath = options.statusPath;
     copts.sentinel = options.sentinel;
     copts.configFingerprint =
         configHash(canonicalConfig(space, options, seeds));

@@ -70,6 +70,8 @@ struct Options
     /** Skip journaled-complete jobs; merged tables stay bit-identical
         to an uninterrupted run (hexfloat value codec). */
     bool resume = false;
+    /** Heartbeat status-file path (--status-file); empty = off. */
+    std::string statusPath;
     /** Divergence-sentinel policy for the fan-out. */
     guard::SentinelOptions sentinel{};
 };

@@ -93,6 +93,11 @@ writeTraceReport(SimBundle &bundle, const std::string &path)
     trace::ExportOptions opts;
     opts.syscallName = os::sysName;
     opts.counterTracks = true;
+    // Timeline counter tracks ride along when --timeline is also
+    // active (the recorder is finalized by writeRunArtifacts before
+    // this export runs).
+    if (bundle.timeline() != nullptr && bundle.timeline()->finalized())
+        opts.timeline = bundle.timeline();
     trace::writeChromeTrace(out, *tracer, &bundle.metrics(), opts);
     out.close();
 

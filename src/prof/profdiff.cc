@@ -1,0 +1,573 @@
+#include "prof/profdiff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace limit::prof {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader — just enough for the reports this repo writes.
+// ---------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string text;
+    std::vector<JsonValue> items;
+    /** Insertion-ordered (report keys are ordered on purpose). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    const JsonValue *
+    find(std::string_view key) const
+    {
+        for (const auto &[k, v] : members) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+};
+
+struct Parser
+{
+    std::string_view in;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty()) {
+            error = what + " at offset " + std::to_string(pos);
+        }
+        return false;
+    }
+
+    void
+    ws()
+    {
+        while (pos < in.size() &&
+               (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\n' ||
+                in[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        ws();
+        if (pos >= in.size() || in[pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos < in.size() && in[pos] != '"') {
+            char c = in[pos++];
+            if (c == '\\') {
+                if (pos >= in.size())
+                    return fail("truncated escape");
+                char e = in[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                    if (pos + 4 > in.size())
+                        return fail("truncated \\u escape");
+                    unsigned v = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = in[pos++];
+                        v <<= 4;
+                        if (h >= '0' && h <= '9')
+                            v |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            v |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            v |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    // Reports only escape control chars; encode the
+                    // code point as UTF-8 without surrogate handling.
+                    if (v < 0x80) {
+                        out += static_cast<char>(v);
+                    } else if (v < 0x800) {
+                        out += static_cast<char>(0xC0 | (v >> 6));
+                        out += static_cast<char>(0x80 | (v & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (v >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((v >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (v & 0x3F));
+                    }
+                    break;
+                  }
+                  default: return fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos >= in.size())
+            return fail("unterminated string");
+        ++pos;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        ws();
+        if (pos >= in.size())
+            return fail("unexpected end of input");
+        const char c = in[pos];
+        if (c == '{') {
+            ++pos;
+            out.kind = JsonValue::Kind::Object;
+            ws();
+            if (pos < in.size() && in[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return false;
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.members.emplace_back(std::move(key), std::move(v));
+                ws();
+                if (pos < in.size() && in[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                return consume('}');
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.kind = JsonValue::Kind::Array;
+            ws();
+            if (pos < in.size() && in[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.items.push_back(std::move(v));
+                ws();
+                if (pos < in.size() && in[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                return consume(']');
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+        }
+        if (in.compare(pos, 4, "true") == 0) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            pos += 4;
+            return true;
+        }
+        if (in.compare(pos, 5, "false") == 0) {
+            out.kind = JsonValue::Kind::Bool;
+            pos += 5;
+            return true;
+        }
+        if (in.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            return true;
+        }
+        // Number.
+        const char *start = in.data() + pos;
+        char *end = nullptr;
+        out.number = std::strtod(start, &end);
+        if (end == start)
+            return fail("bad value");
+        out.kind = JsonValue::Kind::Number;
+        pos += static_cast<std::size_t>(end - start);
+        return true;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Flattening
+// ---------------------------------------------------------------------
+
+/** Sanitize a label for use inside a dotted key. */
+std::string
+sanitize(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out += (c == '.' || c == ' ' || c == '|') ? '_' : c;
+    return out;
+}
+
+/**
+ * Label an array element by its identifying fields so keys line up
+ * across reports regardless of position shifts.
+ */
+std::string
+elementLabel(const JsonValue &v, std::size_t index)
+{
+    if (v.kind != JsonValue::Kind::Object)
+        return std::to_string(index);
+    std::string label;
+    for (const char *key : {"name", "axis", "class", "site", "region"}) {
+        if (const JsonValue *f = v.find(key);
+            f && f->kind == JsonValue::Kind::String) {
+            if (!label.empty())
+                label += ':';
+            label += sanitize(f->text);
+        }
+    }
+    for (const char *key :
+         {"addr", "core", "tid", "nr", "waiter", "param",
+          "first_slice"}) {
+        if (const JsonValue *f = v.find(key);
+            f && f->kind == JsonValue::Kind::Number) {
+            if (!label.empty())
+                label += ':';
+            label += key;
+            label += '_';
+            std::ostringstream num;
+            num << f->number;
+            label += num.str();
+        }
+        if (!label.empty())
+            break;
+    }
+    return label.empty() ? std::to_string(index) : label;
+}
+
+bool
+isHistogram(const JsonValue &v)
+{
+    return v.kind == JsonValue::Kind::Object &&
+           v.find("bucket_bits") != nullptr &&
+           v.find("buckets") != nullptr;
+}
+
+bool
+isTimelineSection(const JsonValue &v)
+{
+    return v.kind == JsonValue::Kind::Object &&
+           v.find("cores") != nullptr && v.find("events") != nullptr &&
+           v.find("interval_ticks") != nullptr;
+}
+
+void flatten(const JsonValue &v, const std::string &prefix,
+             std::map<std::string, double> &out);
+
+/** Collapse a timeline section's slice matrix to per-event totals. */
+void
+flattenTimeline(const JsonValue &v, const std::string &prefix,
+                std::map<std::string, double> &out)
+{
+    std::vector<std::string> events;
+    for (const auto &e : v.find("events")->items)
+        events.push_back(sanitize(e.text));
+    const JsonValue *cores = v.find("cores");
+    std::vector<double> total(events.size(), 0.0);
+    for (const auto &core : cores->items) {
+        const JsonValue *id = core.find("core");
+        const JsonValue *slices = core.find("slices");
+        if (!id || !slices)
+            continue;
+        std::vector<double> coreTotal(events.size(), 0.0);
+        for (const auto &row : slices->items) {
+            for (std::size_t e = 0;
+                 e < row.items.size() && e < events.size(); ++e) {
+                coreTotal[e] += row.items[e].number;
+            }
+        }
+        std::ostringstream cid;
+        cid << id->number;
+        for (std::size_t e = 0; e < events.size(); ++e) {
+            total[e] += coreTotal[e];
+            out[prefix + ".core_" + cid.str() + ".event." + events[e]] =
+                coreTotal[e];
+        }
+    }
+    for (std::size_t e = 0; e < events.size(); ++e)
+        out[prefix + ".event." + events[e]] = total[e];
+    for (const auto &[k, m] : v.members) {
+        if (k == "cores" || k == "events" || k == "name")
+            continue;
+        flatten(m, prefix + "." + k, out);
+    }
+}
+
+void
+flatten(const JsonValue &v, const std::string &prefix,
+        std::map<std::string, double> &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Number:
+        out[prefix] = v.number;
+        return;
+      case JsonValue::Kind::String: {
+        // Meta values are strings even when numeric; surface the
+        // parseable ones so meta counters diff too.
+        const char *start = v.text.c_str();
+        char *end = nullptr;
+        const double d = std::strtod(start, &end);
+        if (end != start && *end == '\0')
+            out[prefix] = d;
+        return;
+      }
+      case JsonValue::Kind::Object: {
+        if (isHistogram(v)) {
+            for (const char *key : {"count", "sum", "min", "max"}) {
+                if (const JsonValue *f = v.find(key);
+                    f && f->kind == JsonValue::Kind::Number) {
+                    out[prefix + "." + key] = f->number;
+                }
+            }
+            return;
+        }
+        if (isTimelineSection(v)) {
+            flattenTimeline(v, prefix, out);
+            return;
+        }
+        for (const auto &[k, m] : v.members) {
+            if (k == "schema" || k == "name")
+                continue;
+            // Run-shape knobs, not results: a 1-seed run diffed
+            // against a 4-seed baseline should compare measurements,
+            // not fail the gate on the depth setting itself.
+            if (prefix == "meta" && (k == "seeds" || k == "jobs"))
+                continue;
+            flatten(m, prefix.empty() ? k : prefix + "." + k, out);
+        }
+        return;
+      }
+      case JsonValue::Kind::Array: {
+        for (std::size_t i = 0; i < v.items.size(); ++i) {
+            flatten(v.items[i],
+                    prefix + "." + elementLabel(v.items[i], i), out);
+        }
+        return;
+      }
+      default:
+        return;
+    }
+}
+
+} // namespace
+
+bool
+flattenReportJson(std::string_view json,
+                  std::map<std::string, double> &out, std::string *error)
+{
+    Parser p;
+    p.in = json;
+    JsonValue root;
+    if (!p.parseValue(root)) {
+        if (error)
+            *error = p.error;
+        return false;
+    }
+    if (root.kind != JsonValue::Kind::Object) {
+        if (error)
+            *error = "report root is not a JSON object";
+        return false;
+    }
+    flatten(root, "", out);
+    return true;
+}
+
+bool
+diffReports(const std::vector<std::string> &base_jsons,
+            const std::vector<std::string> &fresh_jsons,
+            DiffResult &out, std::string *error)
+{
+    out = DiffResult{};
+    if (base_jsons.empty() || fresh_jsons.empty()) {
+        if (error)
+            *error = "each side of the diff needs at least one report";
+        return false;
+    }
+
+    struct Stat
+    {
+        double sum = 0, lo = 0, hi = 0;
+        std::size_t n = 0;
+
+        void
+        add(double v)
+        {
+            if (n == 0) {
+                lo = hi = v;
+            } else {
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+            }
+            sum += v;
+            ++n;
+        }
+
+        double mean() const { return n ? sum / static_cast<double>(n) : 0; }
+    };
+
+    auto gather = [&](const std::vector<std::string> &docs,
+                      std::map<std::string, Stat> &stats) {
+        for (std::size_t i = 0; i < docs.size(); ++i) {
+            std::map<std::string, double> flat;
+            std::string err;
+            if (!flattenReportJson(docs[i], flat, &err)) {
+                if (error) {
+                    *error = "report " + std::to_string(i) +
+                             " failed to parse: " + err;
+                }
+                return false;
+            }
+            for (const auto &[k, v] : flat)
+                stats[k].add(v);
+        }
+        return true;
+    };
+
+    std::map<std::string, Stat> base, fresh;
+    if (!gather(base_jsons, base) || !gather(fresh_jsons, fresh))
+        return false;
+
+    for (const auto &[k, b] : base) {
+        auto it = fresh.find(k);
+        if (it == fresh.end()) {
+            out.onlyBase.push_back(k);
+            continue;
+        }
+        const Stat &f = it->second;
+        if (b.mean() == f.mean() && b.lo == f.lo && b.hi == f.hi) {
+            ++out.identical;
+            continue;
+        }
+        DiffEntry e;
+        e.key = k;
+        e.base = b.mean();
+        e.baseLo = b.lo;
+        e.baseHi = b.hi;
+        e.fresh = f.mean();
+        e.freshLo = f.lo;
+        e.freshHi = f.hi;
+        e.delta = e.fresh - e.base;
+        e.deltaPct = e.base != 0
+                         ? 100.0 * e.delta / std::abs(e.base)
+                         : (e.delta > 0 ? 1e9 : -1e9);
+        e.significant = f.lo > b.hi || f.hi < b.lo;
+        out.entries.push_back(std::move(e));
+    }
+    for (const auto &[k, f] : fresh) {
+        if (!base.count(k))
+            out.onlyFresh.push_back(k);
+    }
+    std::stable_sort(out.entries.begin(), out.entries.end(),
+                     [](const DiffEntry &a, const DiffEntry &b) {
+                         return std::abs(a.deltaPct) >
+                                std::abs(b.deltaPct);
+                     });
+    return true;
+}
+
+std::size_t
+DiffResult::exceeding(double gate_pct) const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries) {
+        if (e.significant && std::abs(e.deltaPct) > gate_pct)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+DiffResult::markdown(double gate_pct) const
+{
+    std::ostringstream os;
+    auto fmt = [](double v) {
+        std::ostringstream s;
+        if (v == static_cast<double>(static_cast<long long>(v)) &&
+            std::abs(v) < 1e15) {
+            s << static_cast<long long>(v);
+        } else {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%.6g", v);
+            s << buf;
+        }
+        return s.str();
+    };
+    os << "# profdiff\n\n";
+    if (clean()) {
+        os << "No deltas: " << identical
+           << " metrics identical on both sides.\n";
+        return os.str();
+    }
+    os << entries.size() << " differing metrics ("
+       << exceeding(gate_pct) << " significant above the "
+       << fmt(gate_pct) << "% gate), " << identical
+       << " identical.\n\n";
+    if (!entries.empty()) {
+        os << "| metric | base | new | delta | delta % | base band |"
+              " new band | gate |\n"
+           << "|---|---|---|---|---|---|---|---|\n";
+        for (const auto &e : entries) {
+            const bool over =
+                e.significant && std::abs(e.deltaPct) > gate_pct;
+            os << "| " << e.key << " | " << fmt(e.base) << " | "
+               << fmt(e.fresh) << " | " << fmt(e.delta) << " | "
+               << fmt(e.deltaPct) << " | [" << fmt(e.baseLo) << ", "
+               << fmt(e.baseHi) << "] | [" << fmt(e.freshLo) << ", "
+               << fmt(e.freshHi) << "] | "
+               << (over ? "**FAIL**"
+                        : (e.significant ? "ok" : "within spread"))
+               << " |\n";
+        }
+    }
+    auto listKeys = [&](const char *title,
+                        const std::vector<std::string> &keys) {
+        if (keys.empty())
+            return;
+        os << "\n" << title << ":\n";
+        for (const auto &k : keys)
+            os << "- " << k << "\n";
+    };
+    listKeys("Only in base", onlyBase);
+    listKeys("Only in new", onlyFresh);
+    return os.str();
+}
+
+} // namespace limit::prof

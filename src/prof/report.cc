@@ -157,6 +157,12 @@ Report::addSensitivity(const SensitivitySection &section)
     sensitivity_.push_back(section);
 }
 
+void
+Report::addTimeline(const TimelineSection &section)
+{
+    timeline_.push_back(section);
+}
+
 const Report::SyncSection *
 Report::sync(const std::string &name) const
 {
@@ -310,6 +316,85 @@ Report::sensitivityMarkdown() const
                << " | " << (best ? fmtDouble(best->param, 0) : "-")
                << " | " << (best ? fmtDouble(best->workRelPct, 2) : "-")
                << " | " << fmtDouble(a.score, 2) << " |\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+Report::timelineAscii() const
+{
+    // Pure-ASCII intensity ramp, darkest last.
+    static const char ramp[] = " .:-=+*#%@";
+    constexpr unsigned rampMax = sizeof(ramp) - 2;
+    constexpr std::size_t width = 72;
+    std::ostringstream os;
+    for (const auto &t : timeline_) {
+        const std::size_t slices =
+            t.cores.empty() ? 0 : t.cores.front().size();
+        os << "timeline '" << t.name << "': interval "
+           << t.intervalTicks << " ticks, " << slices << " slices, "
+           << t.cores.size() << " cores\n";
+        if (slices == 0)
+            continue;
+        // Resample to at most `width` columns: each column is the mean
+        // per-tick instruction rate of its slice group.
+        const std::size_t group = (slices + width - 1) / width;
+        const std::size_t cols = (slices + group - 1) / group;
+        auto colRate = [&](const std::vector<sim::EventDeltas> &lane,
+                           std::size_t col, sim::EventType ev) {
+            const std::size_t lo = col * group;
+            const std::size_t hi = std::min(slices, lo + group);
+            std::uint64_t n = 0;
+            for (std::size_t s = lo; s < hi; ++s)
+                n += lane[s][ev];
+            return static_cast<double>(n) /
+                   (static_cast<double>(hi - lo) *
+                    static_cast<double>(t.intervalTicks));
+        };
+        // Heatmap rows: per-core instruction rate, normalized to the
+        // busiest column in the section so relative phases pop out.
+        double peak = 0;
+        for (const auto &lane : t.cores) {
+            for (std::size_t c = 0; c < cols; ++c) {
+                peak = std::max(
+                    peak,
+                    colRate(lane, c, sim::EventType::Instructions));
+            }
+        }
+        for (std::size_t core = 0; core < t.cores.size(); ++core) {
+            os << "  core " << core << " |";
+            for (std::size_t c = 0; c < cols; ++c) {
+                const double r = colRate(
+                    t.cores[core], c, sim::EventType::Instructions);
+                const unsigned g =
+                    peak <= 0 ? 0
+                              : static_cast<unsigned>(
+                                    r / peak * rampMax + 0.5);
+                os << ramp[std::min(g, rampMax)];
+            }
+            os << "|\n";
+        }
+        // Machine-wide IPC sparkline (instructions / cycles per column).
+        os << "  ipc    |";
+        for (std::size_t c = 0; c < cols; ++c) {
+            double instr = 0, cyc = 0;
+            for (const auto &lane : t.cores) {
+                instr += colRate(lane, c, sim::EventType::Instructions);
+                cyc += colRate(lane, c, sim::EventType::Cycles);
+            }
+            const double ipc = cyc <= 0 ? 0 : instr / cyc;
+            const unsigned g = static_cast<unsigned>(
+                std::min(1.0, ipc) * rampMax + 0.5);
+            os << ramp[std::min(g, rampMax)];
+        }
+        os << "|\n";
+        for (std::size_t i = 0; i < t.phases.size(); ++i) {
+            const auto &p = t.phases[i];
+            os << "  phase " << i << ": slices [" << p.firstSlice
+               << ".." << (p.firstSlice + p.numSlices - 1) << "] ipc "
+               << fmtDouble(p.ipc, 3) << " dominant " << p.dominant
+               << "\n";
         }
     }
     return os.str();
@@ -535,6 +620,62 @@ Report::toJson() const
         first = false;
     }
     os << (sensitivity_.empty() ? "" : "\n  ")
+       << "],\n  \"timeline\": [";
+
+    first = true;
+    for (const auto &t : timeline_) {
+        const std::uint64_t slices =
+            t.cores.empty() ? 0 : t.cores.front().size();
+        os << (first ? "" : ",") << "\n    {\n      \"name\": "
+           << quoted(t.name) << ",\n      \"interval_ticks\": "
+           << t.intervalTicks << ",\n      \"num_cores\": "
+           << t.cores.size() << ",\n      \"num_slices\": " << slices
+           << ",\n      \"events\": [";
+        for (unsigned e = 0; e < sim::numEventTypes; ++e) {
+            os << (e ? ", " : "")
+               << quoted(std::string(sim::eventName(
+                      static_cast<sim::EventType>(e))));
+        }
+        os << "],\n      \"cores\": [";
+        bool first_core = true;
+        for (std::size_t c = 0; c < t.cores.size(); ++c) {
+            os << (first_core ? "" : ",") << "\n        {\"core\": "
+               << c << ", \"slices\": [";
+            bool first_slice = true;
+            for (const auto &d : t.cores[c]) {
+                os << (first_slice ? "" : ",") << "\n          [";
+                for (unsigned e = 0; e < sim::numEventTypes; ++e) {
+                    os << (e ? ", " : "")
+                       << d.counts[e];
+                }
+                os << "]";
+                first_slice = false;
+            }
+            os << (t.cores[c].empty() ? "" : "\n        ") << "]}";
+            first_core = false;
+        }
+        os << (t.cores.empty() ? "" : "\n      ")
+           << "],\n      \"phases\": [";
+        bool first_phase = true;
+        for (const auto &p : t.phases) {
+            os << (first_phase ? "" : ",")
+               << "\n        {\"first_slice\": " << p.firstSlice
+               << ", \"slices\": " << p.numSlices << ", \"ipc\": "
+               << fmtDouble(p.ipc, 6) << ", \"dominant\": "
+               << quoted(p.dominant) << ",\n         \"rates\": {";
+            bool first_rate = true;
+            for (const auto &[k, v] : p.rates) {
+                os << (first_rate ? "" : ", ") << quoted(k) << ": "
+                   << fmtDouble(v, 6);
+                first_rate = false;
+            }
+            os << "}}";
+            first_phase = false;
+        }
+        os << (t.phases.empty() ? "" : "\n      ") << "]\n    }";
+        first = false;
+    }
+    os << (timeline_.empty() ? "" : "\n  ")
        << "],\n  \"histograms\": {";
 
     first = true;

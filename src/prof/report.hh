@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "pec/region.hh"
+#include "sim/types.hh"
 #include "prof/kernel_profile.hh"
 #include "prof/sync_profile.hh"
 #include "stats/hdr_histogram.hh"
@@ -102,6 +103,34 @@ class Report
     };
 
     /**
+     * One run's exact guest-cycle timeline: per-core PMU event
+     * deltas per fixed interval, plus the phase segmentation the
+     * change-point detector derived from them (produced by
+     * prof::buildTimeline from a sim::TimelineRecorder).
+     */
+    struct TimelineSection
+    {
+        /** One detected phase: a run of consecutive slices. */
+        struct Phase
+        {
+            std::uint64_t firstSlice = 0;
+            std::uint64_t numSlices = 0;
+            /** Machine-wide instructions per cycle over the phase. */
+            double ipc = 0;
+            /** Highest-rate architectural event (see buildTimeline). */
+            std::string dominant;
+            /** Mean per-cycle event rates, keyed by event name. */
+            std::map<std::string, double> rates;
+        };
+
+        std::string name;
+        std::uint64_t intervalTicks = 0;
+        /** cores[core][slice]: exact event deltas for that interval. */
+        std::vector<std::vector<sim::EventDeltas>> cores;
+        std::vector<Phase> phases;
+    };
+
+    /**
      * Override the "schema" tag in the JSON artifact (default
      * "limitpp-profile-v1"; the sensitivity engine stamps
      * "limitpp-sensitivity-v1").
@@ -140,6 +169,9 @@ class Report
     /** Attach one scenario's ranked sensitivity analysis. */
     void addSensitivity(const SensitivitySection &section);
 
+    /** Attach one run's exact interval timeline. */
+    void addTimeline(const TimelineSection &section);
+
     const SyncSection *sync(const std::string &name) const;
     const KernelSection *kernel(const std::string &name) const;
     const std::vector<SyncSection> &syncSections() const
@@ -153,6 +185,10 @@ class Report
     const std::vector<SensitivitySection> &sensitivitySections() const
     {
         return sensitivity_;
+    }
+    const std::vector<TimelineSection> &timelineSections() const
+    {
+        return timeline_;
     }
 
     /** @name Rendering @{ */
@@ -181,6 +217,13 @@ class Report
     /** The markdown ranking table EXPERIMENTS.md embeds for E15. */
     std::string sensitivityMarkdown() const;
 
+    /**
+     * Per-core ASCII heatmap (rows = cores, columns = slices,
+     * intensity = instruction rate), a machine-wide IPC sparkline,
+     * and the phase table — the terminal view `--timeline` prints.
+     */
+    std::string timelineAscii() const;
+
     /** The whole report as deterministic JSON. */
     std::string toJson() const;
 
@@ -204,6 +247,7 @@ class Report
     std::vector<SyncSection> sync_;
     std::vector<KernelSection> kernel_;
     std::vector<SensitivitySection> sensitivity_;
+    std::vector<TimelineSection> timeline_;
     std::vector<std::pair<std::string, stats::HdrHistogram>> histograms_;
     std::vector<OpenRegionEntry> openRegions_;
 };

@@ -61,6 +61,30 @@ Cpu::setSuperblocksEnabled(bool on)
         sbPeek_ = machine_.memory()->fastPeekView(id_);
 }
 
+void
+Cpu::setTimelineLane(TimelineLane *lane, Tick interval_ticks)
+{
+    tlLane_ = lane;
+    if (lane == nullptr) {
+        tlInterval_ = 0;
+        tlNextBoundary_ = maxTick;
+        return;
+    }
+    fatal_if(interval_ticks == 0,
+             "Cpu::setTimelineLane: interval must be > 0");
+    tlInterval_ = interval_ticks;
+    lane->curIndex = now_ / interval_ticks;
+    tlNextBoundary_ = (lane->curIndex + 1) * interval_ticks;
+}
+
+void
+Cpu::tlRoll()
+{
+    tlLane_->flush();
+    tlLane_->curIndex = now_ / tlInterval_;
+    tlNextBoundary_ = (tlLane_->curIndex + 1) * tlInterval_;
+}
+
 Cpu::BatchResult
 Cpu::runUntil(Tick bound, Tick poll_at, Tick hard_limit,
               unsigned max_ops)
@@ -597,6 +621,21 @@ Cpu::sbSizeIters(const Superblock &block, std::uint64_t &out)
         lim = batchPollAt_;
     if (quantumEnd < lim)
         lim = quantumEnd;
+    if (tlLane_ != nullptr) [[unlikely]] {
+        // Timeline slices must be bit-identical to per-op execution,
+        // where each op's events land in the slice holding its start
+        // time. A replayed span commits all its events at the span's
+        // *end*, so the span must not cross a slice boundary: bounding
+        // lim keeps spanEnd <= lim - 1 < boundary (maxIterCycles
+        // upper-bounds each iteration, so `avail` below holds for the
+        // whole span). The cached boundary can be stale — the clock
+        // advanced past it after the last apply — so roll first; that
+        // also keeps `lim - now_` from wrapping below.
+        if (now_ >= tlNextBoundary_)
+            tlRoll();
+        if (tlNextBoundary_ < lim)
+            lim = tlNextBoundary_;
+    }
     if (lim - now_ <= 1) {
         ++stats.refusedHorizon;
         return false;

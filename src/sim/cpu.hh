@@ -14,6 +14,7 @@
 #include "sim/guest.hh"
 #include "sim/memory_if.hh"
 #include "sim/pmu.hh"
+#include "sim/timeline.hh"
 #include "sim/types.hh"
 
 namespace limit::sim {
@@ -147,6 +148,14 @@ class Cpu
     void kernelWork(Tick cycles);
 
     /**
+     * Attach this core's timeline lane (nullptr detaches). Set by
+     * Machine::setTimeline; `interval_ticks` must be > 0 when a lane
+     * is attached. With no lane the hot-path cost is one always-false
+     * predicted branch per apply.
+     */
+    void setTimelineLane(TimelineLane *lane, Tick interval_ticks);
+
+    /**
      * Apply event deltas in `mode` to the current thread's ledger and
      * the PMU; queues PMIs for overflowed interrupt-enabled counters.
      * Inline: runs once per guest op.
@@ -154,6 +163,11 @@ class Cpu
     void
     applyEvents(PrivMode mode, const EventDeltas &deltas)
     {
+        if (tlLane_ != nullptr) [[unlikely]] {
+            if (now_ >= tlNextBoundary_)
+                tlRoll();
+            tlLane_->cur += deltas;
+        }
         if (current_)
             current_->ledger().apply(mode, deltas);
         WrapEvent ev[maxPmuCounters];
@@ -182,6 +196,12 @@ class Cpu
     void
     applyFewEvents(PrivMode mode, const SparseDelta (&d)[N])
     {
+        if (tlLane_ != nullptr) [[unlikely]] {
+            if (now_ >= tlNextBoundary_)
+                tlRoll();
+            for (unsigned i = 0; i < N; ++i)
+                tlLane_->cur[d[i].event] += d[i].count;
+        }
         if (current_) {
             auto &ledger = current_->ledger();
             for (unsigned i = 0; i < N; ++i)
@@ -216,6 +236,11 @@ class Cpu
 
   private:
     void drainOverflowsSlow();
+    /**
+     * Cold path of the timeline hook: flush the lane's accumulator
+     * into its slice and re-anchor at the slice holding `now_`.
+     */
+    void tlRoll();
     /**
      * Try to arm a superblock replay for the op about to execute:
      * checks fault plans, pending PMIs, the batch horizon/poll/quantum
@@ -369,6 +394,18 @@ class Cpu
      * round) so sbTryEnter pays no virtual call per entry.
      */
     FastPeekView sbPeek_{};
+    /** @} */
+
+    /** @name Timeline capture (nullptr lane = disabled) @{ */
+    TimelineLane *tlLane_ = nullptr;
+    Tick tlInterval_ = 0;
+    /**
+     * First tick of the slice after tlLane_->curIndex; maxTick when
+     * detached so the hot-path compare is always false. May be stale
+     * (<= now_) between applies — events apply before the clock
+     * advances — so every consumer rolls first.
+     */
+    Tick tlNextBoundary_ = maxTick;
     /** @} */
 };
 

@@ -177,6 +177,21 @@ Machine::setMemory(MemoryIf *memory)
     memory_ = memory ? memory : &flatMemory_;
 }
 
+void
+Machine::setTimeline(TimelineRecorder *timeline)
+{
+    timeline_ = timeline;
+    if (timeline == nullptr) {
+        for (auto &cpu : cpus_)
+            cpu->setTimelineLane(nullptr, 0);
+        return;
+    }
+    timeline->attach(numCores());
+    for (unsigned i = 0; i < numCores(); ++i)
+        cpus_[i]->setTimelineLane(&timeline->lane(i),
+                                  timeline->interval());
+}
+
 Tick
 Machine::run()
 {

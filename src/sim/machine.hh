@@ -218,6 +218,15 @@ class Machine
     fault::FaultController *faults() const { return faults_; }
 
     /**
+     * Attach a timeline recorder (nullptr detaches). Not owned; the
+     * recorder is (re)attached to the machine's core count and each
+     * core gets its lane pointer. Call recorder.finalize(maxTime())
+     * after run() before reading slices.
+     */
+    void setTimeline(TimelineRecorder *timeline);
+    TimelineRecorder *timeline() const { return timeline_; }
+
+    /**
      * Ask guests to wind down once any core reaches `t`
      * (Guest::shouldStop turns true); does not forcibly stop them.
      */
@@ -276,6 +285,7 @@ class Machine
     KernelIf *kernel_ = nullptr;
     trace::Tracer *tracer_ = nullptr;
     fault::FaultController *faults_ = nullptr;
+    TimelineRecorder *timeline_ = nullptr;
     RegionTable regions_;
     Tick stopAt_ = 0;
     Tick nextPollAt_ = 0;

@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 
+#include "sim/timeline.hh"
 #include "trace/metrics.hh"
 
 namespace limit::trace {
@@ -70,6 +71,10 @@ writeChromeTrace(std::ostream &os, const Tracer &tracer,
     std::set<std::uint16_t> cores;
     for (const TraceRecord &r : records)
         cores.insert(r.core);
+    if (options.timeline != nullptr && options.timeline->finalized()) {
+        for (unsigned c = 0; c < options.timeline->numLanes(); ++c)
+            cores.insert(static_cast<std::uint16_t>(c));
+    }
     for (const std::uint16_t c : cores) {
         sep();
         os << "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
@@ -141,6 +146,42 @@ writeChromeTrace(std::ostream &os, const Tracer &tracer,
                    << "\", \"ph\": \"C\", \"ts\": " << ts
                    << ", \"pid\": " << r.core
                    << ", \"args\": {\"value\": " << value << "}}";
+            }
+        }
+    }
+
+    if (options.timeline != nullptr && options.timeline->finalized()) {
+        // One counter track per (core, event): the value at each
+        // slice boundary is the event's exact delta over that slice,
+        // so the track reads as an exact rate plot, not a sample.
+        const sim::TimelineRecorder &tl = *options.timeline;
+        sim::EventDeltas any{};
+        for (const auto &lane : tl.lanes()) {
+            for (const auto &slice : lane.slices)
+                any += slice;
+        }
+        for (unsigned core = 0; core < tl.numLanes(); ++core) {
+            const auto &slices = tl.lanes()[core].slices;
+            for (unsigned e = 0; e < sim::numEventTypes; ++e) {
+                if (any.counts[e] == 0)
+                    continue;
+                const std::string track =
+                    "tl-" +
+                    std::string(sim::eventName(
+                        static_cast<sim::EventType>(e)));
+                for (std::size_t s = 0; s < slices.size(); ++s) {
+                    std::snprintf(
+                        ts, sizeof ts, "%.6f",
+                        sim::ticksToNs(static_cast<sim::Tick>(s) *
+                                       tl.interval()) /
+                            1000.0);
+                    sep();
+                    os << "    {\"name\": \"" << track
+                       << "\", \"ph\": \"C\", \"ts\": " << ts
+                       << ", \"pid\": " << core
+                       << ", \"args\": {\"value\": "
+                       << slices[s].counts[e] << "}}";
+                }
             }
         }
     }

@@ -23,6 +23,10 @@
 
 #include "trace/trace.hh"
 
+namespace limit::sim {
+class TimelineRecorder;
+}
+
 namespace limit::trace {
 
 class MetricsRegistry;
@@ -45,6 +49,16 @@ struct ExportOptions
      * event count for syscall-dense traces.
      */
     bool counterTracks = false;
+
+    /**
+     * Optional finalized timeline recorder: emits one "tl-<event>"
+     * counter track per core per PMU event (events with no hits
+     * anywhere are skipped), valued at the event's exact per-slice
+     * delta, stepped at each slice boundary. Accessed through
+     * sim/timeline.hh's inline API only — limit_trace does not link
+     * limit_sim.
+     */
+    const sim::TimelineRecorder *timeline = nullptr;
 };
 
 /**

@@ -392,5 +392,44 @@ TEST(BenchArgs, ValidatesFaultPlanGrammarUpFront)
     EXPECT_TRUE(parseArgs({"--faults=stall-syscall:ticks=500"}).ok());
 }
 
+TEST(BenchArgs, ParsesObservabilityFlags)
+{
+    const auto p = parseArgs({"--timeline", "tl.json",
+                              "--timeline-interval=4096",
+                              "--status-file=hb.json"});
+    ASSERT_TRUE(p.ok()) << p.error;
+    EXPECT_EQ(p.args.timeline, "tl.json");
+    EXPECT_EQ(p.args.timelineInterval, 4096u);
+    EXPECT_EQ(p.args.statusFile, "hb.json");
+    EXPECT_TRUE(p.args.timelineOn());
+    EXPECT_TRUE(p.args.instrumented());
+    EXPECT_EQ(p.args.captureTimelineInterval(), 4096u);
+    // --timeline-interval alone arms nothing: no file, no recorder.
+    const auto q = parseArgs({"--timeline-interval", "8192"});
+    ASSERT_TRUE(q.ok()) << q.error;
+    EXPECT_FALSE(q.args.timelineOn());
+    EXPECT_FALSE(q.args.instrumented());
+    EXPECT_EQ(q.args.captureTimelineInterval(), 0u);
+}
+
+TEST(BenchArgs, RejectsDegenerateObservabilityValues)
+{
+    // A sub-256-cycle slice allocates one full event-vector row per
+    // handful of ops; reject it like --trace-cap 0.
+    for (const char *bad : {"0", "1", "255"}) {
+        const auto p =
+            parseArgs({"--timeline-interval", bad, "--timeline=t.json"});
+        ASSERT_FALSE(p.ok()) << bad;
+        EXPECT_NE(p.error.find("--timeline-interval"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(parseArgs({"--timeline-interval", "256"}).ok());
+    // Empty artifact paths are configuration mistakes, not requests.
+    EXPECT_FALSE(parseArgs({"--timeline"}).ok());
+    EXPECT_FALSE(parseArgs({"--timeline="}).ok());
+    EXPECT_FALSE(parseArgs({"--status-file"}).ok());
+    EXPECT_FALSE(parseArgs({"--status-file="}).ok());
+}
+
 } // namespace
 } // namespace limit

@@ -264,6 +264,55 @@ TEST(HdrHistogram, JsonRoundTripEmpty)
     EXPECT_EQ(back, h);
 }
 
+TEST(HdrHistogram, MergeFullyDisjointBucketRanges)
+{
+    // a's values all land in sub-bucket-exact low buckets, b's in the
+    // scaled top decades — no bucket index is shared, so the merge
+    // must interleave two runs rather than add overlapping counts.
+    HdrHistogram a(5), b(5), whole(5);
+    for (std::uint64_t v : {0ull, 1ull, 7ull, 31ull}) {
+        a.add(v, 2);
+        whole.add(v, 2);
+    }
+    for (std::uint64_t v :
+         {std::uint64_t{1} << 32, std::uint64_t{1} << 48, maxU64}) {
+        b.add(v, 3);
+        whole.add(v, 3);
+    }
+    a.merge(b);
+    EXPECT_EQ(a, whole);
+    EXPECT_EQ(a.minValue(), 0u);
+    EXPECT_EQ(a.maxValue(), maxU64);
+    EXPECT_EQ(a.totalCount(), 8u + 9u);
+    // The low half is untouched by the high-range merge: rank
+    // 0.25 * 17 = 4.25 falls past {0, 1} (cumulative 4) into 7.
+    EXPECT_EQ(a.quantile(0.25), 7u);
+}
+
+TEST(HdrHistogram, MergeIntoEmptyAdoptsOther)
+{
+    HdrHistogram empty(6), full(6);
+    full.add(17, 4);
+    full.add(1 << 20);
+    empty.merge(full);
+    EXPECT_EQ(empty, full);
+    EXPECT_EQ(empty.toJson(), full.toJson());
+}
+
+TEST(HdrHistogram, JsonRoundTripSingleBucket)
+{
+    HdrHistogram h(5);
+    h.add(42, 7); // one bucket, weighted
+    const std::string json = h.toJson();
+    HdrHistogram back;
+    ASSERT_TRUE(HdrHistogram::fromJson(json, back));
+    EXPECT_EQ(back, h);
+    EXPECT_EQ(back.toJson(), json);
+    EXPECT_EQ(back.totalCount(), 7u);
+    EXPECT_EQ(back.minValue(), 42u);
+    EXPECT_EQ(back.maxValue(), 42u);
+}
+
 TEST(HdrHistogram, FromJsonRejectsMalformed)
 {
     HdrHistogram out;

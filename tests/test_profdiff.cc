@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Differential profiling (prof::diffReports / flattenReportJson)
+ * tests: flattening of report JSON into dotted metric keys, seed-level
+ * spread bands, significance, the regression gate, and the self-diff
+ * identity every report must satisfy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "prof/profdiff.hh"
+
+namespace limit {
+namespace {
+
+using prof::DiffResult;
+using prof::diffReports;
+using prof::flattenReportJson;
+
+const char *kBase = R"({
+  "schema": "limitpp-profile-v1",
+  "meta": {"bench": "b", "seeds": "1", "jobs": "4",
+           "sim.max_time_ticks": "2000000"},
+  "sync": [
+    {"name": "oltp",
+     "classes": [
+       {"class": "futex", "acquisitions": 100, "wait_cycles": 5000},
+       {"class": "spin", "acquisitions": 40, "wait_cycles": 800}
+     ]}
+  ],
+  "histograms": [
+    {"name": "lat",
+     "histogram": {"bucket_bits": 5, "count": 3, "sum": 30, "min": 4,
+                    "max": 20, "buckets": [[4, 2], [20, 1]]}}
+  ]
+})";
+
+/** kBase with wait_cycles regressed 20% and the histogram shifted. */
+const char *kFresh = R"({
+  "schema": "limitpp-profile-v1",
+  "meta": {"bench": "b", "seeds": "3", "jobs": "1",
+           "sim.max_time_ticks": "2000000"},
+  "sync": [
+    {"name": "oltp",
+     "classes": [
+       {"class": "futex", "acquisitions": 100, "wait_cycles": 6000},
+       {"class": "spin", "acquisitions": 40, "wait_cycles": 800}
+     ]}
+  ],
+  "histograms": [
+    {"name": "lat",
+     "histogram": {"bucket_bits": 5, "count": 3, "sum": 36, "min": 4,
+                    "max": 26, "buckets": [[4, 2], [26, 1]]}}
+  ]
+})";
+
+TEST(FlattenReport, DottedKeysWithIdentifyingLabels)
+{
+    std::map<std::string, double> flat;
+    std::string error;
+    ASSERT_TRUE(flattenReportJson(kBase, flat, &error)) << error;
+    EXPECT_EQ(flat.at("sync.oltp.classes.futex.wait_cycles"), 5000);
+    EXPECT_EQ(flat.at("sync.oltp.classes.spin.acquisitions"), 40);
+    // Histograms collapse to summary stats, not raw buckets.
+    EXPECT_EQ(flat.at("histograms.lat.histogram.count"), 3);
+    EXPECT_EQ(flat.at("histograms.lat.histogram.max"), 20);
+    EXPECT_EQ(flat.count("histograms.lat.histogram.buckets"), 0u);
+    // Numeric meta strings parse; run-shape knobs are excluded.
+    EXPECT_EQ(flat.at("meta.sim.max_time_ticks"), 2000000);
+    EXPECT_EQ(flat.count("meta.seeds"), 0u);
+    EXPECT_EQ(flat.count("meta.jobs"), 0u);
+    EXPECT_EQ(flat.count("schema"), 0u);
+}
+
+TEST(FlattenReport, RejectsMalformedJson)
+{
+    std::map<std::string, double> flat;
+    std::string error;
+    EXPECT_FALSE(flattenReportJson("{", flat, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(flattenReportJson("", flat, nullptr));
+    EXPECT_FALSE(flattenReportJson("[1,2", flat, nullptr));
+}
+
+TEST(DiffReports, SelfDiffIsCleanWithZeroDeltas)
+{
+    DiffResult d;
+    std::string error;
+    ASSERT_TRUE(diffReports({kBase}, {kBase}, d, &error)) << error;
+    EXPECT_TRUE(d.clean());
+    EXPECT_TRUE(d.entries.empty());
+    EXPECT_GT(d.identical, 0u);
+    EXPECT_TRUE(d.onlyBase.empty());
+    EXPECT_TRUE(d.onlyFresh.empty());
+    EXPECT_EQ(d.exceeding(0.0), 0u);
+}
+
+TEST(DiffReports, FindsTheRegressionAndRanksByMagnitude)
+{
+    DiffResult d;
+    std::string error;
+    ASSERT_TRUE(diffReports({kBase}, {kFresh}, d, &error)) << error;
+    EXPECT_FALSE(d.clean());
+    ASSERT_FALSE(d.entries.empty());
+    // Largest relative change first (histogram max: +30%).
+    EXPECT_EQ(d.entries[0].key, "histograms.lat.histogram.max");
+    bool sawWait = false;
+    for (const auto &e : d.entries) {
+        if (e.key == "sync.oltp.classes.futex.wait_cycles") {
+            sawWait = true;
+            EXPECT_EQ(e.base, 5000);
+            EXPECT_EQ(e.fresh, 6000);
+            EXPECT_NEAR(e.deltaPct, 20.0, 1e-9);
+            EXPECT_TRUE(e.significant); // single files: bands are points
+        }
+    }
+    EXPECT_TRUE(sawWait);
+    // The gate separates above/below threshold.
+    EXPECT_EQ(d.exceeding(25.0), 1u);  // only the +30% histogram max
+    EXPECT_GE(d.exceeding(5.0), 2u);   // wait_cycles joins
+}
+
+TEST(DiffReports, SeedSpreadBandsSuppressWithinNoiseChanges)
+{
+    // Base seeds span [100, 120]; the fresh value 110 sits inside the
+    // band, so the change must not be significant. 150 is outside.
+    const char *b1 = R"({"meta": {"m": "100"}})";
+    const char *b2 = R"({"meta": {"m": "120"}})";
+    const char *f_in = R"({"meta": {"m": "110"}})";
+    const char *f_out = R"({"meta": {"m": "150"}})";
+
+    DiffResult inside;
+    ASSERT_TRUE(diffReports({b1, b2}, {f_in}, inside, nullptr));
+    ASSERT_EQ(inside.entries.size(), 1u);
+    EXPECT_FALSE(inside.entries[0].significant);
+    EXPECT_EQ(inside.exceeding(0.0), 0u); // not significant → not gated
+
+    DiffResult outside;
+    ASSERT_TRUE(diffReports({b1, b2}, {f_out}, outside, nullptr));
+    ASSERT_EQ(outside.entries.size(), 1u);
+    EXPECT_TRUE(outside.entries[0].significant);
+    EXPECT_EQ(outside.entries[0].baseLo, 100);
+    EXPECT_EQ(outside.entries[0].baseHi, 120);
+    EXPECT_EQ(outside.exceeding(0.0), 1u);
+}
+
+TEST(DiffReports, KeysPresentOnOneSideOnlyAreListedNotDiffed)
+{
+    const char *base = R"({"meta": {"old_metric": "1", "both": "2"}})";
+    const char *fresh = R"({"meta": {"new_metric": "3", "both": "2"}})";
+    DiffResult d;
+    ASSERT_TRUE(diffReports({base}, {fresh}, d, nullptr));
+    ASSERT_EQ(d.onlyBase.size(), 1u);
+    ASSERT_EQ(d.onlyFresh.size(), 1u);
+    EXPECT_EQ(d.onlyBase[0], "meta.old_metric");
+    EXPECT_EQ(d.onlyFresh[0], "meta.new_metric");
+    EXPECT_EQ(d.identical, 1u);
+    EXPECT_TRUE(d.entries.empty());
+}
+
+TEST(DiffReports, TimelineSectionsCollapseToPerEventTotals)
+{
+    const char *tl = R"({
+      "timeline": [
+        {"name": "t", "interval_ticks": 4096, "num_cores": 2,
+         "num_slices": 2,
+         "events": ["cycles", "instructions"],
+         "cores": [
+           {"core": 0, "slices": [[10, 5], [20, 15]]},
+           {"core": 1, "slices": [[2, 1], [8, 3]]}
+         ],
+         "phases": []}
+      ]
+    })";
+    std::map<std::string, double> flat;
+    ASSERT_TRUE(flattenReportJson(tl, flat, nullptr));
+    EXPECT_EQ(flat.at("timeline.t.event.cycles"), 40);
+    EXPECT_EQ(flat.at("timeline.t.event.instructions"), 24);
+    EXPECT_EQ(flat.at("timeline.t.core_0.event.cycles"), 30);
+    EXPECT_EQ(flat.at("timeline.t.core_1.event.instructions"), 4);
+    EXPECT_EQ(flat.at("timeline.t.interval_ticks"), 4096);
+}
+
+TEST(DiffReports, MarkdownNamesTheGateAndTheFailures)
+{
+    DiffResult d;
+    ASSERT_TRUE(diffReports({kBase}, {kFresh}, d, nullptr));
+    const std::string md = d.markdown(5.0);
+    EXPECT_NE(md.find("# profdiff"), std::string::npos);
+    EXPECT_NE(md.find("| metric |"), std::string::npos);
+    EXPECT_NE(md.find("futex.wait_cycles"), std::string::npos);
+    EXPECT_NE(md.find("FAIL"), std::string::npos);
+
+    DiffResult clean;
+    ASSERT_TRUE(diffReports({kBase}, {kBase}, clean, nullptr));
+    EXPECT_NE(clean.markdown(5.0).find("No deltas"), std::string::npos);
+}
+
+} // namespace
+} // namespace limit

@@ -305,6 +305,63 @@ TEST(CampaignTest, JournalRoundTripAcrossWorkerCounts)
     std::remove(path.c_str());
 }
 
+TEST(CampaignTest, StatusFileHeartbeatReachesFinishedState)
+{
+    const std::string path =
+        ::testing::TempDir() + "limitpp_status_campaign.json";
+    std::remove(path.c_str());
+
+    analysis::CampaignOptions opts;
+    opts.jobs = 2;
+    opts.statusPath = path;
+    const analysis::CampaignResult r =
+        analysis::Campaign(opts).run(5, campaign_jobs::job);
+    ASSERT_TRUE(r.ok());
+
+    // The reporter's final flush runs before Campaign::run returns,
+    // so the heartbeat on disk is the completed snapshot — and only
+    // the renamed path exists, never the temp (atomic-replace).
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_NE(line.find("\"schema\":\"limitpp-status-v1\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"total\":5"), std::string::npos);
+    EXPECT_NE(line.find("\"done\":5"), std::string::npos);
+    EXPECT_NE(line.find("\"in_flight\":0"), std::string::npos);
+    EXPECT_NE(line.find("\"failed\":0"), std::string::npos);
+    EXPECT_NE(line.find("\"finished\":true"), std::string::npos);
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    std::remove(path.c_str());
+}
+
+TEST(CampaignTest, StatusReporterCountsRetriesAndQuarantines)
+{
+    const std::string path =
+        ::testing::TempDir() + "limitpp_status_unit.json";
+    std::remove(path.c_str());
+    {
+        analysis::StatusReporter s(path, 3);
+        s.started();
+        s.finished(guard::ExecMode::Batched, 2, false, true);
+        s.started();
+        s.finished(guard::ExecMode::PerOp, 1, true, false);
+        s.resumed();
+    } // destructor = final flush
+
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_NE(line.find("\"done\":2"), std::string::npos);
+    EXPECT_NE(line.find("\"resumed\":1"), std::string::npos);
+    EXPECT_NE(line.find("\"failed\":1"), std::string::npos);
+    EXPECT_NE(line.find("\"retried\":1"), std::string::npos);
+    EXPECT_NE(line.find("\"quarantined\":1"), std::string::npos);
+    EXPECT_NE(line.find("\"batched\":1"), std::string::npos);
+    EXPECT_NE(line.find("\"finished\":true"), std::string::npos);
+    std::remove(path.c_str());
+}
+
 TEST(CampaignTest, PartialJournalResumeRunsOnlyTheMissingJobs)
 {
     const std::string path =
