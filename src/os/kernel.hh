@@ -61,13 +61,21 @@ class Kernel : public sim::KernelIf
 
     /** @name Host-side setup & inspection @{ */
 
-    /** Create a thread; placed round-robin across cores. */
+    /**
+     * Create a thread; placed round-robin across cores.
+     *
+     * @param parallel_safe opt the guest into leased execution under
+     *        sharded machine runs (see GuestContext::parallelSafe for
+     *        the host-state contract the body must satisfy).
+     */
     sim::ThreadId spawn(std::string name,
-                        std::function<sim::Task<void>(sim::Guest &)> body);
+                        std::function<sim::Task<void>(sim::Guest &)> body,
+                        bool parallel_safe = false);
 
     /** Create a thread with explicit placement. */
     sim::ThreadId spawnOn(sim::CoreId core, bool pinned, std::string name,
-                          std::function<sim::Task<void>(sim::Guest &)> body);
+                          std::function<sim::Task<void>(sim::Guest &)> body,
+                          bool parallel_safe = false);
 
     Thread &thread(sim::ThreadId tid);
     const Thread &thread(sim::ThreadId tid) const;

@@ -23,8 +23,14 @@ void
 Cpu::setCurrent(GuestContext *ctx)
 {
     current_ = ctx;
-    if (ctx)
+    if (ctx) {
         ctx->lastCore = id_;
+        // Superblock stats are per core (leased cores must never
+        // write a shared block); re-bind a migrating thread's
+        // detector to this core's stats.
+        if (ctx->sbState != nullptr)
+            ctx->sbState->setStats(&sbStats_);
+    }
 }
 
 void
@@ -173,6 +179,119 @@ Cpu::runUntil(Tick bound, Tick poll_at, Tick hard_limit,
     return r;
 }
 
+Cpu::LeaseResult
+Cpu::runLeased(Tick hard_limit, unsigned max_ops)
+{
+    // The runUntil loop with both horizons at infinity: a leased core
+    // has no serial peer ordering to respect *as long as* every op
+    // commutes with the rest of the machine — which tryInlineOp
+    // enforces in lease mode by refusing (parking) anything that
+    // would touch the kernel, shared memory levels, or another core.
+    // Runs on a worker thread; the park publication's release store
+    // (Machine::runSharded) fences everything written here.
+    batchBound_ = maxTick;
+    batchPollAt_ = maxTick;
+    batchHardLimit_ = hard_limit;
+    batchOpsLeft_ = max_ops;
+    leaseMode_ = true;
+    LeaseResult r;
+    while (true) {
+        panic_if(now_ > hard_limit,
+                 "runaway simulation: core ", id_,
+                 " passed the hard limit at tick ", now_);
+        GuestContext &ctx = *current_;
+        ctx.hasOp = false;
+        ctx.opConsumedInline = false;
+        ctx.inlineCpu = this;
+        ctx.resumeHandle().resume();
+        ctx.inlineCpu = nullptr;
+
+        if (!ctx.hasOp) {
+            if (ctx.finished()) {
+                if (ctx.sbr.cur != nullptr)
+                    sbCommitReplay(ctx, /*partial=*/true);
+                if (batchOpsLeft_ > 0)
+                    --batchOpsLeft_; // the exiting resume was a round
+                // threadExited is a kernel action: park and let the
+                // coordinator retire the thread in global order.
+                parkKey_ = now_;
+                r.park = LeasePark::Exit;
+                break;
+            }
+            panic_if(!ctx.opConsumedInline,
+                     "guest thread '", ctx.name(),
+                     "' suspended without issuing an op");
+            ctx.opConsumedInline = false;
+            if (epiloguePending_) {
+                // The last op queued a PMI or crossed the quantum
+                // end. The oracle runs op + epilogue as one atomic
+                // round, so the park key is the pre-op clock that
+                // tryInlineOp captured in parkKey_.
+                epiloguePending_ = false;
+                r.park = LeasePark::Epilogue;
+                break;
+            }
+            // Op budget spent: chunk boundary, core stays leased.
+            r.park = LeasePark::Chunk;
+            break;
+        }
+        // A non-commuting op was published unexecuted (syscall,
+        // atomic, PMC read, slow memory access): the coordinator must
+        // run it as a classic round at the current clock.
+        parkKey_ = now_;
+        r.park = LeasePark::PendingOp;
+        break;
+    }
+    leaseMode_ = false;
+    r.ops = max_ops - batchOpsLeft_;
+    leasedOps_ += r.ops;
+    batchOpsLeft_ = 0;
+    return r;
+}
+
+void
+Cpu::serialCatchUp(LeasePark reason)
+{
+    // Coordinator side: the core was just reclaimed at its park key's
+    // global-order turn; complete the withheld action exactly as the
+    // reference loop would have.
+    switch (reason) {
+      case LeasePark::PendingOp: {
+        panic_if(current_ == nullptr || !current_->hasOp,
+                 "pending-op catch-up without a published op");
+        GuestContext &ctx = *current_;
+        // The coroutine is suspended *holding* this op; executing it
+        // here mirrors runUntil's classic round (the next resume will
+        // hand the result back).
+        kernelRound_ = false;
+        executeOp(ctx);
+        if (ctx.sbState != nullptr)
+            ctx.sbState->noteDiscontinuity();
+        break;
+      }
+      case LeasePark::Epilogue: {
+        // Mirror runUntil's deferred-epilogue block.
+        kernelRound_ = false;
+        drainOverflows();
+        if (current_ && now_ >= quantumEnd) {
+            kernelRound_ = true;
+            machine_.kernel()->timerTick(*this);
+            drainOverflows();
+        }
+        break;
+      }
+      case LeasePark::Exit: {
+        panic_if(current_ == nullptr,
+                 "exit catch-up on an idle core");
+        machine_.kernel()->threadExited(*this, *current_);
+        drainOverflows();
+        break;
+      }
+      case LeasePark::Chunk:
+        panic("serialCatchUp on a core that did not park");
+    }
+}
+
 bool
 Cpu::tryInlineOp(GuestContext &ctx)
 {
@@ -205,7 +324,7 @@ Cpu::tryInlineOp(GuestContext &ctx)
         SuperblockState *st = ctx.sbState.get();
         if (st == nullptr) [[unlikely]] {
             ctx.sbState = std::make_unique<SuperblockState>(
-                &machine_.superblockStats(), costs_.mispredictPenalty);
+                &sbStats_, costs_.mispredictPenalty);
             st = ctx.sbState.get();
         }
         sb_awake = st->shouldRecord();
@@ -236,13 +355,27 @@ Cpu::tryInlineOp(GuestContext &ctx)
                 return false;
         }
     }
+    // From here the op executes at the current clock — which is the
+    // key the reference scheduler's earliest-core pick would run it
+    // (and its epilogue) at. A leased core parking on the epilogue
+    // below must publish exactly this key.
+    if (leaseMode_)
+        parkKey_ = now_;
     switch (op.kind) {
       case OpKind::Compute:
         execCompute(ctx, op);
         break;
       case OpKind::Load:
       case OpKind::Store:
-        execMemory(ctx, op);
+        if (leaseMode_) {
+            // Leased cores may only take the per-core fast path; a
+            // miss means shared hierarchy levels, so the op parks and
+            // the coordinator runs it as a classic round.
+            if (!execMemoryFast(ctx, op))
+                return false;
+        } else {
+            execMemory(ctx, op);
+        }
         break;
       case OpKind::RegionEnter:
       case OpKind::RegionExit:
@@ -364,26 +497,36 @@ Cpu::execCompute(GuestContext &ctx, const PendingOp &op)
     ctx.result = 0;
 }
 
-void
-Cpu::execMemory(GuestContext &ctx, const PendingOp &op)
+bool
+Cpu::execMemoryFast(GuestContext &ctx, const PendingOp &op)
 {
     const bool write = op.kind == OpKind::Store;
-    MemoryIf *mem = machine_.memory();
 
     // All-hit accesses (the common case on streaming patterns) carry
     // exactly three events; skip the dense-deltas machinery for them.
-    if (const Tick fast = mem->tryFastAccess(id_, op.addr, write)) {
-        lastFastLat_ = fast;
-        const SparseDelta d[3] = {
-            {EventType::Cycles, fast},
-            {EventType::Instructions, 1},
-            {write ? EventType::Stores : EventType::Loads, 1}};
-        applyFewEvents(PrivMode::User, d);
-        now_ += fast;
-        ctx.result = 0;
-        return;
-    }
+    const Tick fast = machine_.memory()->tryFastAccess(id_, op.addr,
+                                                       write);
+    if (fast == 0)
+        return false;
+    lastFastLat_ = fast;
+    const SparseDelta d[3] = {
+        {EventType::Cycles, fast},
+        {EventType::Instructions, 1},
+        {write ? EventType::Stores : EventType::Loads, 1}};
+    applyFewEvents(PrivMode::User, d);
+    now_ += fast;
+    ctx.result = 0;
+    return true;
+}
 
+void
+Cpu::execMemory(GuestContext &ctx, const PendingOp &op)
+{
+    if (execMemoryFast(ctx, op))
+        return;
+
+    const bool write = op.kind == OpKind::Store;
+    MemoryIf *mem = machine_.memory();
     lastFastLat_ = 0;
     EventDeltas d;
     const Tick latency = mem->access(id_, op.addr, write, false, d);
@@ -611,7 +754,7 @@ Cpu::drainOverflowsSlow()
 bool
 Cpu::sbSizeIters(const Superblock &block, std::uint64_t &out)
 {
-    SuperblockStats &stats = machine_.superblockStats();
+    SuperblockStats &stats = sbStats_;
     // Every replayed op must land strictly below the batch bound, the
     // poll deadline and the quantum end (so per-op execution would
     // also have run the whole span back to back on this core), and at
@@ -682,7 +825,7 @@ Cpu::sbSizeIters(const Superblock &block, std::uint64_t &out)
 bool
 Cpu::sbTryEnter(GuestContext &ctx, Superblock &block, std::uint32_t start)
 {
-    SuperblockStats &stats = machine_.superblockStats();
+    SuperblockStats &stats = sbStats_;
     // A fault plan can trigger on any op's seams; replay would skip
     // its probe points. Refuse outright — fault runs are diagnostics,
     // not throughput runs — unless the controller targets the replay
@@ -718,6 +861,7 @@ Cpu::sbTryEnter(GuestContext &ctx, Superblock &block, std::uint32_t start)
             r.pageVal = *sbPeek_.lastPage;
             r.setMask = sbPeek_.setMask;
             r.mruTags = sbPeek_.mruTags;
+            r.lastGoodLine = ~0ull;
         }
     }
     std::uint64_t iters;
@@ -757,11 +901,15 @@ Cpu::sbResume(GuestContext &ctx, Superblock &block, std::uint32_t start)
     r.accBranches = 0;
     r.accMisses = 0;
     r.block = &block;
-    // The bridged access may have moved the TLB's hot page; the other
-    // flattened fields are geometry, invariant within a run.
-    if (!r.memAlwaysHit && block.numMemOps > 0)
+    // The bridged access may have moved the TLB's hot page and the L1
+    // MRU tags; the other flattened fields are geometry, invariant
+    // within a run. The validation cache is poisoned for the same
+    // reason.
+    if (!r.memAlwaysHit && block.numMemOps > 0) {
         r.pageVal = *r.peek.lastPage;
-    ++machine_.superblockStats().entries;
+        r.lastGoodLine = ~0ull;
+    }
+    ++sbStats_.entries;
     return true;
 }
 
@@ -783,6 +931,13 @@ Cpu::sbStallMem(GuestContext &ctx)
     // the full access below mutates the recency state they assume,
     // and the access's own deltas must apply after the span's.
     sbCommitReplay(ctx, /*partial=*/true);
+    if (leaseMode_) {
+        // The stalled op left the per-core fast path; on a leased
+        // core it must park and run as a coordinator round. The span
+        // is committed and the hint armed, so the suspend path picks
+        // up exactly where a serial run would.
+        return false;
+    }
     // The stalled op itself needs the normal path's budget/horizons.
     if (batchOpsLeft_ == 0 || now_ >= batchBound_ || now_ >= batchPollAt_)
         return false; // suspend path; hint is armed for the next op
@@ -791,7 +946,7 @@ Cpu::sbStallMem(GuestContext &ctx)
              " passed the hard limit at tick ", now_);
     execMemorySlow(ctx, ctx.op);
     --batchOpsLeft_;
-    ++machine_.superblockStats().stallBridges;
+    ++sbStats_.stallBridges;
     if (!pendingPmis_.empty() || now_ >= quantumEnd) {
         epiloguePending_ = true;
         ctx.opConsumedInline = true;
@@ -823,7 +978,7 @@ Cpu::sbCommitReplay(GuestContext &ctx, bool partial)
 {
     SbReplay &r = ctx.sbr;
     Superblock &b = *r.block;
-    SuperblockStats &stats = machine_.superblockStats();
+    SuperblockStats &stats = sbStats_;
     const std::uint64_t size = b.ops.size();
     const std::uint64_t fullIters = r.itersTotal - r.itersLeft;
     const std::uint64_t curOff =
@@ -908,6 +1063,12 @@ Cpu::sbFinishReplay(GuestContext &ctx)
     ctx.sbr.cur = ctx.sbr.opsBegin;
     ctx.sbr.itersLeft = 0;
     sbCommitReplay(ctx, /*partial=*/false);
+    // Defensive for lease mode: sizing keeps spans strictly inside
+    // the quantum and PMU headroom, so the epilogue below should be
+    // unreachable there — but if it ever fires, the post-commit clock
+    // is the only coherent park key.
+    if (leaseMode_)
+        parkKey_ = now_;
     // Mirror tryInlineOp's post-op checks: the replay was sized to
     // stay inside every horizon, but it may have consumed the whole
     // op budget or landed exactly on a boundary.

@@ -202,6 +202,27 @@ class GuestContext
     CoreId lastCore = 0;
     /** @} */
 
+    /** @name Sharded-execution classification (see DESIGN.md) @{ */
+    /**
+     * The guest body's host-side code between ops touches only state
+     * owned by this thread (its streams, counters, coroutine frame) —
+     * shared host words only ever through atomic/futex ops, which
+     * always execute on the coordinator. Only such threads may run on
+     * a leased core inside a worker thread; everything else (plain
+     * shared host state, e.g. InstrumentedMutex bookkeeping) is
+     * pinned to the coordinator. Opt-in at Kernel::spawn.
+     */
+    bool parallelSafe = false;
+    /**
+     * Lease-thrash cooldown, decremented once per coordinator lease
+     * opportunity: set after an unproductive lease (a handful of ops
+     * before parking) so syscall-dense threads run serially instead
+     * of ping-ponging. Purely a host-side placement heuristic —
+     * affects *where* ops execute, never their order or results.
+     */
+    unsigned leaseStall = 0;
+    /** @} */
+
     /** @name PMC-read race bookkeeping (see pec/) @{ */
     bool inPmcRead = false;
     bool pmcRestartRequested = false;
@@ -298,12 +319,22 @@ GuestContext::sbStep() noexcept
         // the full path, resume the same block — without tearing the
         // replay down (Cpu::sbStallMem).
         if (!r.memAlwaysHit) {
-            if ((o.addr >> r.pageShift) != r.pageVal) [[unlikely]]
-                return superblockStallMem(*this);
             const std::uint64_t line = o.addr >> r.lineShift;
-            if (r.mruTags[(line & r.setMask) << r.waysShift] != line)
-                [[unlikely]]
-                return superblockStallMem(*this);
+            // Hoisted validation: the assumptions are frozen for the
+            // whole span, so an op on the same line as the previous
+            // validated one is valid by that op's check (same line ⇒
+            // same page; the MRU tags cannot change mid-span). One
+            // register compare instead of a page check plus a tags
+            // load for the common run of same-line accesses between
+            // line crossings.
+            if (line != r.lastGoodLine) {
+                if ((o.addr >> r.pageShift) != r.pageVal) [[unlikely]]
+                    return superblockStallMem(*this);
+                if (r.mruTags[(line & r.setMask) << r.waysShift] != line)
+                    [[unlikely]]
+                    return superblockStallMem(*this);
+                r.lastGoodLine = line;
+            }
         }
     }
     if (++r.cur == r.opsEnd) [[unlikely]] {

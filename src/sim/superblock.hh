@@ -176,6 +176,16 @@ struct SbReplay
     std::uint64_t pageVal = 0;
     std::uint64_t setMask = 0;
     const std::uint64_t *mruTags = nullptr;
+    /**
+     * Last cache line that passed the page + MRU validation. The
+     * assumptions above are frozen for the whole span (no access runs
+     * between validated ops), so an op on the same line as the
+     * previous one is valid by the previous op's check — same line
+     * implies same page, and the MRU tags cannot have changed. Reset
+     * to the poison value at entry and after every stall bridge (the
+     * bridged access mutates the tags).
+     */
+    std::uint64_t lastGoodLine = ~0ull;
     /** @} */
 
     /** For sbPendingTicks: the mid-replay exact-time reconstruction. */
@@ -207,6 +217,13 @@ class SuperblockState
     {
         lastSeen_.fill(~0ull);
     }
+
+    /**
+     * Retarget the stats sink. Stats are kept per *core* (so leased
+     * cores never write a shared counter block); a thread that
+     * migrates re-binds to its new core's block on install.
+     */
+    void setStats(SuperblockStats *stats) { stats_ = stats; }
 
     /** Longest loop body (in ops) a superblock may cover. */
     static constexpr unsigned maxPeriod = 16;

@@ -1,0 +1,559 @@
+/**
+ * @file
+ * Sharded safe-horizon execution equivalence tests.
+ *
+ * The sharded coordinator/worker loop (Machine::runSharded +
+ * Cpu::runLeased/serialCatchUp) must be *bit-identical* to both the
+ * horizon-batched scheduler and the per-op reference loop — same
+ * ledgers, same PMU finals, same PMI timing, same context-switch
+ * count, same trace record stream, same timeline slices, same end
+ * tick — for any shard count. Each scenario here stresses one way a
+ * lease can go wrong (futex parks, PMI epilogues, thread migration)
+ * and runs the whole observable machine state through four execution
+ * shapes: per-op, batched single-shard, two shards, and four shards.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/args.hh"
+#include "analysis/bundle.hh"
+#include "os/sysno.hh"
+#include "prof/report.hh"
+#include "prof/timeline.hh"
+#include "sim/machine.hh"
+#include "sim/timeline.hh"
+#include "sync/mutex.hh"
+#include "trace/trace.hh"
+#include "workloads/oltp.hh"
+
+namespace limit {
+namespace {
+
+using sim::EventType;
+using sim::Guest;
+using sim::PrivMode;
+using sim::Task;
+
+/** Everything observable about a finished run. */
+struct Fingerprint
+{
+    sim::Tick end = 0;
+    std::uint64_t switches = 0;
+    /** thread-major, then mode-major, then event: exact ledgers. */
+    std::vector<std::uint64_t> ledgers;
+    /** core-major, then counter index: final PMU values. */
+    std::vector<std::uint64_t> pmuFinals;
+    std::vector<trace::TraceRecord> records;
+};
+
+Fingerprint
+collect(analysis::SimBundle &b, sim::Tick end)
+{
+    Fingerprint fp;
+    fp.end = end;
+    fp.switches = b.kernel().totalContextSwitches();
+    for (unsigned t = 0; t < b.kernel().numThreads(); ++t) {
+        const auto &ledger = b.kernel().thread(t).ctx.ledger();
+        for (unsigned m = 0; m < 2; ++m) {
+            for (unsigned e = 0; e < sim::numEventTypes; ++e) {
+                fp.ledgers.push_back(
+                    ledger.count(static_cast<EventType>(e),
+                                 static_cast<PrivMode>(m)));
+            }
+        }
+    }
+    for (unsigned c = 0; c < b.machine().numCores(); ++c) {
+        const auto &pmu = b.machine().cpu(c).pmu();
+        for (unsigned k = 0; k < pmu.numCounters(); ++k)
+            fp.pmuFinals.push_back(pmu.read(k));
+    }
+    if (b.tracer() != nullptr)
+        fp.records = b.tracer()->merged();
+    return fp;
+}
+
+void
+expectIdentical(const Fingerprint &a, const Fingerprint &b,
+                const char *what)
+{
+    EXPECT_EQ(a.end, b.end) << what;
+    EXPECT_EQ(a.switches, b.switches) << what;
+    EXPECT_EQ(a.ledgers, b.ledgers) << what;
+    EXPECT_EQ(a.pmuFinals, b.pmuFinals) << what;
+    ASSERT_EQ(a.records.size(), b.records.size()) << what;
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        const trace::TraceRecord &ra = a.records[i];
+        const trace::TraceRecord &rb = b.records[i];
+        EXPECT_EQ(ra.tick, rb.tick) << what << " record " << i;
+        EXPECT_EQ(ra.a0, rb.a0) << what << " record " << i;
+        EXPECT_EQ(ra.a1, rb.a1) << what << " record " << i;
+        EXPECT_EQ(ra.tid, rb.tid) << what << " record " << i;
+        EXPECT_EQ(ra.core, rb.core) << what << " record " << i;
+        EXPECT_EQ(static_cast<unsigned>(ra.event),
+                  static_cast<unsigned>(rb.event))
+            << what << " record " << i;
+    }
+}
+
+/**
+ * The four execution shapes a scenario is cross-checked over. Shard
+ * counts are pinned per bundle (Builder::shards), so these tests mean
+ * the same thing under the LIMITPP_FORCE_SHARDS CI jobs — the env
+ * override replaces the default, not an explicit per-bundle request.
+ */
+struct Shape
+{
+    bool batched;
+    unsigned shards;
+    const char *name;
+};
+
+constexpr Shape kShapes[] = {
+    {false, 1, "per-op"},
+    {true, 1, "batched"},
+    {true, 2, "shards-2"},
+    {true, 4, "shards-4"},
+};
+
+template <typename MakeFn>
+void
+crossCheck(MakeFn make)
+{
+    Fingerprint ref;
+    for (const Shape &s : kShapes) {
+        const Fingerprint fp = make(s);
+        if (&s == &kShapes[0]) {
+            ref = fp;
+            continue;
+        }
+        expectIdentical(fp, ref, s.name);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Futex storm: parallel-safe threads whose every lock parks the lease
+// ---------------------------------------------------------------------
+
+/**
+ * The futex syscall traces the *host* address of the futex word, so
+ * the lock objects must live at the same addresses in every compared
+ * run — the storm shares one set across all four shapes (each run
+ * leaves every lock free again, so there is no state carry-over
+ * beyond the acquisition statistic, which is not fingerprinted).
+ */
+Fingerprint
+runFutexStorm(const Shape &shape,
+              std::vector<std::unique_ptr<sync::Mutex>> &locks,
+              std::uint64_t *shared)
+{
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(4)
+                              .quantum(10'000)
+                              .seed(29)
+                              .batched(shape.batched)
+                              .shards(shape.shards)
+                              .traceCapacity(1 << 14)
+                              .build());
+
+    for (unsigned i = 0; i < 6; ++i) {
+        // Host code between ops touches only locals, the guest RNG and
+        // the (atomic) Mutex statistics — the parallelSafe contract.
+        b.kernel().spawn(
+            "storm" + std::to_string(i),
+            [&locks, shared](Guest &g) -> Task<void> {
+                for (unsigned s = 0; s < 120; ++s) {
+                    sync::Mutex &mu =
+                        *locks[g.rng().below(locks.size())];
+                    co_await mu.lock(g);
+                    co_await g.compute(1 + g.rng().below(150));
+                    co_await mu.unlock(g);
+                    co_await g.atomicFetchAdd(shared, 0xa000, 1);
+                    co_await g.compute(20 + g.rng().below(60));
+                    if (s % 9 == 0) {
+                        co_await g.syscall(
+                            os::sysSleep,
+                            {1 + g.rng().below(4'000), 0, 0, 0});
+                    }
+                    if (s % 5 == 0)
+                        co_await g.syscall(os::sysYield);
+                }
+            },
+            /*parallel_safe=*/true);
+    }
+    const sim::Tick end = b.machine().run();
+    return collect(b, end);
+}
+
+TEST(ShardEquivalence, FutexStormBitIdentical)
+{
+    std::vector<std::unique_ptr<sync::Mutex>> locks;
+    for (int i = 0; i < 3; ++i)
+        locks.push_back(std::make_unique<sync::Mutex>(0x9000 + i * 64));
+    std::uint64_t shared = 0;
+    crossCheck([&](const Shape &s) {
+        shared = 0;
+        return runFutexStorm(s, locks, &shared);
+    });
+}
+
+// ---------------------------------------------------------------------
+// PMI storm: narrow counters wrap inside leases, epilogues park
+// ---------------------------------------------------------------------
+
+Fingerprint
+runPmiStorm(const Shape &shape)
+{
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(4)
+                              .quantum(20'000)
+                              .pmuWidth(18) // wraps every ~256K cycles
+                              .seed(17)
+                              .batched(shape.batched)
+                              .shards(shape.shards)
+                              .build());
+    b.kernel().configureCounter(0,
+                                {.event = EventType::Instructions,
+                                 .countUser = true,
+                                 .countKernel = false,
+                                 .enabled = true,
+                                 .interruptOnOverflow = true});
+    b.kernel().configureCounter(1, {.event = EventType::Cycles,
+                                    .countUser = true,
+                                    .countKernel = true,
+                                    .enabled = true,
+                                    .interruptOnOverflow = true});
+
+    for (unsigned i = 0; i < 5; ++i) {
+        b.kernel().spawn(
+            "pmi" + std::to_string(i),
+            [](Guest &g) -> Task<void> {
+                std::uint64_t sum = 0;
+                for (unsigned s = 0; s < 300; ++s) {
+                    co_await g.compute(50 + g.rng().below(40));
+                    const sim::Addr a =
+                        0x200000 + g.rng().below(1 << 14) * 8;
+                    co_await g.load(a);
+                    co_await g.store(a + 8);
+                    if (s % 16 == 0)
+                        sum += co_await g.pmcRead(0);
+                }
+                (void)sum;
+            },
+            /*parallel_safe=*/true);
+    }
+    const sim::Tick end = b.machine().run();
+    return collect(b, end);
+}
+
+TEST(ShardEquivalence, PmiStormBitIdentical)
+{
+    crossCheck(runPmiStorm);
+}
+
+// ---------------------------------------------------------------------
+// Migration-heavy: sleeping unpinned threads hop cores mid-lease,
+// mixed with a thread that never qualifies for leasing
+// ---------------------------------------------------------------------
+
+Fingerprint
+runMigrationMix(const Shape &shape)
+{
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(3)
+                              .quantum(8'000)
+                              .seed(41)
+                              .batched(shape.batched)
+                              .shards(std::min(shape.shards, 3u))
+                              .traceCapacity(1 << 13)
+                              .build());
+
+    for (unsigned i = 0; i < 5; ++i) {
+        b.kernel().spawn(
+            "hopper" + std::to_string(i),
+            [](Guest &g) -> Task<void> {
+                for (unsigned s = 0; s < 100; ++s) {
+                    co_await g.compute(200 + g.rng().below(300));
+                    co_await g.load(0x500000 + g.rng().below(1 << 12) * 8);
+                    // Sleeping releases the core; the wake lands on
+                    // whichever core is idle, migrating the thread
+                    // between leased and serial cores.
+                    co_await g.syscall(
+                        os::sysSleep,
+                        {1 + g.rng().below(2'500), 0, 0, 0});
+                }
+            },
+            /*parallel_safe=*/true);
+    }
+    // One deliberately lease-ineligible bystander: the scheduler must
+    // interleave it with leased cores exactly as the oracle does.
+    b.kernel().spawn("bystander", [](Guest &g) -> Task<void> {
+        for (unsigned s = 0; s < 400; ++s) {
+            co_await g.compute(90);
+            if (s % 10 == 0)
+                co_await g.syscall(os::sysYield);
+        }
+    });
+    const sim::Tick end = b.machine().run();
+    return collect(b, end);
+}
+
+TEST(ShardEquivalence, MigrationMixBitIdentical)
+{
+    crossCheck(runMigrationMix);
+}
+
+// ---------------------------------------------------------------------
+// Sleeper convoy: simultaneous deadlines across an all-idle machine
+// ---------------------------------------------------------------------
+
+/**
+ * Regression scenario for the poll-ordering contract. When every core
+ * is idle, Kernel::poll(maxTick) wakes exactly ONE sleeper and the
+ * oracle loops run that thread's first round before polling again —
+ * so when several wake deadlines are due together, wakes and first
+ * ops strictly alternate. A coordinator that re-polls before running
+ * the re-derived pick delivers the later wakes first and drifts off
+ * the oracle schedule. The OLTP analogue is the workload that caught
+ * this (E5's tables shifted at --shards > 1 with every guest
+ * lease-ineligible): its client threads block on futexes with
+ * convoyed sleep deadlines, so the machine drains to fully idle many
+ * times per run with multiple wakes pending. No tracer here — the
+ * server allocates its locks per run, and futex tracepoints record
+ * host addresses — so the fingerprint is ledgers/PMU/switches only.
+ */
+Fingerprint
+runOltpConvoy(const Shape &shape)
+{
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(4)
+                              .seed(1)
+                              .batched(shape.batched)
+                              .shards(shape.shards)
+                              .build());
+    workloads::OltpConfig cfg;
+    cfg.clients = 6;
+    cfg.readRatio = 0.5;
+    workloads::OltpServer oltp(b.machine(), b.kernel(), cfg, 1234);
+    oltp.spawn();
+    const sim::Tick end = b.run(4'000'000);
+    Fingerprint fp = collect(b, end);
+    // Fold the work count in via the (unused) end slot sanity check:
+    // a schedule drift that somehow kept every ledger identical would
+    // still have to keep the commit count identical.
+    fp.ledgers.push_back(oltp.committed());
+    return fp;
+}
+
+TEST(ShardEquivalence, OltpConvoyBitIdentical)
+{
+    crossCheck(runOltpConvoy);
+}
+
+// ---------------------------------------------------------------------
+// Timeline artifact: slices and serialized JSON byte-identical
+// ---------------------------------------------------------------------
+
+/** Flattened slice matrix: core-major, slice-major, event-major. */
+std::vector<std::uint64_t>
+flattenLanes(const sim::TimelineRecorder &recorder)
+{
+    std::vector<std::uint64_t> out;
+    for (const sim::TimelineLane &lane : recorder.lanes())
+        for (const sim::EventDeltas &d : lane.slices)
+            for (unsigned e = 0; e < sim::numEventTypes; ++e)
+                out.push_back(d.counts[e]);
+    return out;
+}
+
+TEST(ShardEquivalence, TimelineBytesIdenticalAcrossShardCounts)
+{
+    std::vector<std::uint64_t> ref;
+    std::string refJson;
+    for (const unsigned shards : {1u, 2u, 4u}) {
+        analysis::SimBundle b(analysis::BundleOptions::builder()
+                                  .cores(4)
+                                  .quantum(10'000)
+                                  .seed(33)
+                                  .shards(shards)
+                                  .timelineInterval(4096)
+                                  .build());
+        for (unsigned i = 0; i < 4; ++i) {
+            b.kernel().spawn(
+                "phase" + std::to_string(i),
+                [](Guest &g) -> Task<void> {
+                    for (unsigned s = 0; s < 250; ++s)
+                        co_await g.compute(40 + g.rng().below(30));
+                    for (unsigned s = 0; s < 250; ++s) {
+                        const sim::Addr a =
+                            0x40000 + g.rng().below(1 << 15) * 8;
+                        co_await g.load(a);
+                        co_await g.store(a + 8);
+                        co_await g.compute(2);
+                    }
+                },
+                /*parallel_safe=*/true);
+        }
+        b.run(400'000);
+        ASSERT_NE(b.timeline(), nullptr);
+        b.timeline()->finalize(b.machine().maxTime());
+
+        prof::Report report;
+        report.schema("limitpp-timeline-v1");
+        report.addTimeline(prof::buildTimeline("t", *b.timeline()));
+        const std::string json = report.toJson();
+        const std::vector<std::uint64_t> flat =
+            flattenLanes(*b.timeline());
+        if (shards == 1) {
+            ref = flat;
+            refJson = json;
+        } else {
+            EXPECT_EQ(flat, ref) << "shards=" << shards;
+            EXPECT_EQ(json, refJson) << "shards=" << shards;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Leases really activate, and the telemetry says so
+// ---------------------------------------------------------------------
+
+TEST(ShardExecution, WorkersExecuteLeasedOps)
+{
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(4)
+                              .seed(3)
+                              .shards(4)
+                              .build());
+    if (b.machine().effectiveShards() != 4) {
+        // A process-wide clamp (LIMITPP_FORCE_NO_BATCH and friends)
+        // forces the oracle loop; equivalence is covered above.
+        GTEST_SKIP() << "sharded execution force-disabled";
+    }
+    for (unsigned i = 0; i < 4; ++i) {
+        b.kernel().spawn(
+            "lease" + std::to_string(i),
+            [](Guest &g) -> Task<void> {
+                for (unsigned s = 0; s < 20'000; ++s)
+                    co_await g.compute(10);
+            },
+            /*parallel_safe=*/true);
+    }
+    b.machine().run();
+    const sim::Machine::ShardTelemetry &t = b.machine().shardTelemetry();
+    EXPECT_EQ(t.shards, 4u);
+    EXPECT_EQ(t.workerCpuSec.size(), 3u);
+    // Long parallel-safe compute loops must actually run on workers —
+    // a zero here means the lease machinery silently degraded to the
+    // serial loop and the speedup claim is vacuous.
+    EXPECT_GT(t.leasedOps, 0u);
+    EXPECT_GT(t.criticalPathCpuSec(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Clamps: shard requests can never outrun the machine or the oracle
+// ---------------------------------------------------------------------
+
+TEST(ShardExecution, DefaultShardsClampToCoreCount)
+{
+    const unsigned saved = sim::shardExecutionDefault();
+    sim::setShardExecutionDefault(8);
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(2)
+                              .seed(1)
+                              .build());
+    EXPECT_LE(b.machine().effectiveShards(), 2u);
+    sim::setShardExecutionDefault(saved);
+}
+
+TEST(ShardExecution, ScopedSingleShardForcesTheSerialLoop)
+{
+    analysis::SimBundle b(analysis::BundleOptions::builder()
+                              .cores(4)
+                              .seed(1)
+                              .shards(4)
+                              .build());
+    {
+        sim::ScopedSingleShard guard;
+        EXPECT_EQ(b.machine().effectiveShards(), 1u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flag and builder validation
+// ---------------------------------------------------------------------
+
+TEST(ShardArgs, ParsesBothSpellings)
+{
+    {
+        const char *argv[] = {"bench", "--shards", "4"};
+        const analysis::BenchParse p = analysis::tryParseBenchArgs(
+            3, const_cast<char **>(argv), {});
+        ASSERT_TRUE(p.ok()) << p.error;
+        EXPECT_EQ(p.args.shards, 4u);
+    }
+    {
+        const char *argv[] = {"bench", "--shards=2"};
+        const analysis::BenchParse p = analysis::tryParseBenchArgs(
+            2, const_cast<char **>(argv), {});
+        ASSERT_TRUE(p.ok()) << p.error;
+        EXPECT_EQ(p.args.shards, 2u);
+    }
+}
+
+TEST(ShardArgs, RejectsZeroNegativeAndAbsurd)
+{
+    {
+        const char *argv[] = {"bench", "--shards", "0"};
+        const analysis::BenchParse p = analysis::tryParseBenchArgs(
+            3, const_cast<char **>(argv), {});
+        EXPECT_FALSE(p.ok());
+        EXPECT_NE(p.error.find("--shards"), std::string::npos);
+    }
+    {
+        const char *argv[] = {"bench", "--shards", "-2"};
+        const analysis::BenchParse p = analysis::tryParseBenchArgs(
+            3, const_cast<char **>(argv), {});
+        EXPECT_FALSE(p.ok());
+    }
+    {
+        const char *argv[] = {"bench", "--shards", "4096"};
+        const analysis::BenchParse p = analysis::tryParseBenchArgs(
+            3, const_cast<char **>(argv), {});
+        EXPECT_FALSE(p.ok());
+    }
+    {
+        const char *argv[] = {"bench", "--shards", "two"};
+        const analysis::BenchParse p = analysis::tryParseBenchArgs(
+            3, const_cast<char **>(argv), {});
+        EXPECT_FALSE(p.ok());
+    }
+}
+
+TEST(ShardBuilderDeathTest, RejectsImpossibleShardCounts)
+{
+    EXPECT_DEATH(analysis::BundleOptions::builder()
+                     .cores(2)
+                     .shards(4)
+                     .build(),
+                 "must not exceed cores");
+    EXPECT_DEATH(analysis::BundleOptions::builder()
+                     .cores(2)
+                     .shards(0)
+                     .build(),
+                 "shards must be >= 1");
+    EXPECT_DEATH(analysis::BundleOptions::builder()
+                     .cores(4)
+                     .shards(2)
+                     .batched(false)
+                     .build(),
+                 "requires batched");
+}
+
+} // namespace
+} // namespace limit
